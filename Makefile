@@ -1,0 +1,43 @@
+# Development entry points. Everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-race bench figures table1 sample fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every evaluation figure (moderate replication).
+figures:
+	$(GO) run ./cmd/experiments -all
+
+# Regenerate every figure at the paper's ±1% CI criterion (slow).
+figures-paper:
+	$(GO) run ./cmd/experiments -all -paper
+
+table1:
+	$(GO) run ./cmd/experiments -table1
+
+# Render the Figure 9 sample network.
+sample:
+	$(GO) run ./cmd/bcastsim -render
+
+# Short fuzzing campaign over the coverage conditions.
+fuzz:
+	$(GO) test ./internal/core/ -fuzz FuzzCoverageConditions -fuzztime 30s
+	$(GO) test ./internal/core/ -fuzz FuzzMaxMinPath -fuzztime 30s
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	if err := run([]string{"-n", "40", "-d", "6", "-seed", "3"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunEveryProtocolName(t *testing.T) {
+	for _, name := range protocolNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			err := run([]string{"-n", "30", "-d", "6", "-proto", name, "-seed", "2"})
+			if err != nil {
+				t.Fatalf("run -proto %s: %v", name, err)
+			}
+		})
+	}
+}
+
+func TestRunRender(t *testing.T) {
+	if err := run([]string{"-render", "-n", "60", "-seed", "4"}); err != nil {
+		t.Fatalf("run -render: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "unknown protocol", args: []string{"-proto", "bogus"}},
+		{name: "unknown metric", args: []string{"-metric", "bogus"}},
+		{name: "impossible degree", args: []string{"-n", "5", "-d", "30"}},
+		{name: "bad flag", args: []string{"-definitely-not-a-flag"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Fatalf("run(%v) succeeded, want error", tt.args)
+			}
+		})
+	}
+}
+
+func TestProtocolNamesSorted(t *testing.T) {
+	names := protocolNames()
+	if len(names) < 15 {
+		t.Fatalf("only %d protocols registered", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if strings.Compare(names[i-1], names[i]) >= 0 {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	if err := run([]string{"-n", "20", "-d", "5", "-trace", "-seed", "6"}); err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+}

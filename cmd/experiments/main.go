@@ -1,0 +1,122 @@
+// Command experiments regenerates the paper's evaluation figures and Table 1
+// as text tables.
+//
+// Usage:
+//
+//	experiments -fig 10            # one figure (10..16)
+//	experiments -all               # every figure
+//	experiments -table1            # Table 1
+//	experiments -fig 15 -paper     # full ±1% CI criterion (slow)
+//	experiments -ext mobility      # extension experiments and ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"adhocbcast/internal/experiments"
+	"adhocbcast/internal/render"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		fig    = fs.String("fig", "", "figure id to reproduce (10..16)")
+		all    = fs.Bool("all", false, "reproduce every figure")
+		table1 = fs.Bool("table1", false, "print Table 1")
+		ext    = fs.String("ext", "", "extension experiment: mobility, reliability, piggyback, backoff, visitedunion, cluster, latency")
+		paper  = fs.Bool("paper", false, "use the paper's ±1% CI replication criterion")
+		seed   = fs.Int64("seed", 42, "base workload seed")
+		svgDir = fs.String("svgdir", "", "also write each figure as an SVG chart into this directory")
+		sizes  = fs.String("sizes", "", "comma-separated network sizes (default 20..100)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *table1 {
+		fmt.Print(experiments.Table1())
+		return nil
+	}
+	rc := experiments.RunConfig{Seed: *seed}
+	if *paper {
+		rc.Replicate = experiments.Paper()
+	}
+	if *sizes != "" {
+		for _, tok := range strings.Split(*sizes, ",") {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &n); err != nil {
+				return fmt.Errorf("bad -sizes entry %q: %w", tok, err)
+			}
+			rc.Sizes = append(rc.Sizes, n)
+		}
+	}
+	emit := func(f experiments.Figure) error {
+		fmt.Println(experiments.Format(f))
+		if *svgDir == "" {
+			return nil
+		}
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			return err
+		}
+		name := filepath.Join(*svgDir, "figure-"+sanitize(f.ID)+".svg")
+		out, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := render.Chart(out, f); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "wrote", name)
+		return nil
+	}
+	if *ext != "" {
+		f, err := experiments.ExtensionByID(*ext, rc)
+		if err != nil {
+			return err
+		}
+		return emit(f)
+	}
+	ids := []string{*fig}
+	if *all {
+		ids = experiments.AllFigureIDs()
+	} else if *fig == "" {
+		fs.Usage()
+		return fmt.Errorf("need -fig, -all, -ext, or -table1")
+	}
+	for _, id := range ids {
+		f, err := experiments.FigureByID(id, rc)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitize keeps figure ids filesystem-safe.
+func sanitize(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, id)
+}

@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunTable1(t *testing.T) {
+	if err := run([]string{"-table1"}); err != nil {
+		t.Fatalf("run -table1: %v", err)
+	}
+}
+
+func TestRunFigureTiny(t *testing.T) {
+	if err := run([]string{"-fig", "16", "-sizes", "20"}); err != nil {
+		t.Fatalf("run -fig 16: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+	}{
+		{name: "no action", args: nil},
+		{name: "unknown figure", args: []string{"-fig", "99"}},
+		{name: "unknown extension", args: []string{"-ext", "bogus"}},
+		{name: "bad sizes", args: []string{"-fig", "10", "-sizes", "abc"}},
+		{name: "bad flag", args: []string{"-nope"}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := run(tt.args); err == nil {
+				t.Fatalf("run(%v) succeeded, want error", tt.args)
+			}
+		})
+	}
+}

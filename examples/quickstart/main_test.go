@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun executes the example end to end; examples are part of the tested
+// surface, not just documentation.
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

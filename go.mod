@@ -1,0 +1,3 @@
+module adhocbcast
+
+go 1.22

@@ -1,0 +1,28 @@
+package cds_test
+
+import (
+	"fmt"
+
+	"adhocbcast/internal/cds"
+	"adhocbcast/internal/graph"
+)
+
+// Build a backbone with the marking process, then shrink it with the
+// coverage-condition reduction of Section 1.
+func ExampleReduce() {
+	// A 6-cycle: every node is marked (its two neighbors are not directly
+	// connected), but half of them suffice as a CDS.
+	g := graph.New(6)
+	for i := 0; i < 6; i++ {
+		if err := g.AddEdge(i, (i+1)%6); err != nil {
+			panic(err)
+		}
+	}
+	marked := cds.MarkingProcess(g)
+	reduced := cds.Reduce(g, marked)
+	fmt.Println("marked: ", marked)
+	fmt.Println("reduced:", reduced, "is CDS:", cds.IsCDS(g, reduced))
+	// Output:
+	// marked:  [0 1 2 3 4 5]
+	// reduced: [2 3 4 5] is CDS: true
+}

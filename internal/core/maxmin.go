@@ -1,0 +1,134 @@
+package core
+
+import (
+	"sort"
+
+	"adhocbcast/internal/graph"
+	"adhocbcast/internal/view"
+)
+
+// MaxMinPath runs the MAX_MIN procedure of Definition 1 for the view's
+// owner v, building a maximal replacement path that connects v's neighbors
+// u and w. The returned slice holds the intermediate nodes in path order
+// (empty when u and w are directly connected); ok is false when no
+// replacement path exists at all.
+//
+// The procedure is purely graph-theoretic on the view: intermediates are
+// drawn from the visible nodes with priority strictly higher than Pr(v), and
+// no virtual visited-clique shortcut is applied.
+func MaxMinPath(lv *view.Local, u, w int) (intermediates []int, ok bool) {
+	h := newMaxMinSolver(lv)
+	return h.path(u, w)
+}
+
+// ReplacementPathExists reports whether u and w (neighbors of the view's
+// owner) are connected by at least one replacement path for the owner. It is
+// the reference predicate the coverage-condition implementations are tested
+// against.
+func ReplacementPathExists(lv *view.Local, u, w int) bool {
+	h := newMaxMinSolver(lv)
+	return h.maxMinNode(u, w) != noPath
+}
+
+const (
+	directEdge = -1 // endpoints directly connected, empty path
+	noPath     = -2 // no replacement path exists
+)
+
+// maxMinSolver finds max-min (bottleneck-optimal) nodes by activating the
+// higher-priority nodes in descending priority order and tracking
+// connectivity with a union-find; the node whose activation first connects
+// the two endpoints is the max-min node.
+type maxMinSolver struct {
+	lv *view.Local
+	// byPriority lists the H members in descending priority order.
+	byPriority []int
+}
+
+func newMaxMinSolver(lv *view.Local) *maxMinSolver {
+	prv := lv.Pr[lv.Owner]
+	var members []int
+	for x := 0; x < lv.G.N(); x++ {
+		if x != lv.Owner && lv.Visible[x] && lv.Pr[x].Greater(prv) {
+			members = append(members, x)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		return lv.Pr[members[j]].Less(lv.Pr[members[i]])
+	})
+	return &maxMinSolver{lv: lv, byPriority: members}
+}
+
+// path implements MAX_MIN(u, w, v) recursively.
+func (s *maxMinSolver) path(u, w int) ([]int, bool) {
+	x := s.maxMinNode(u, w)
+	switch x {
+	case directEdge:
+		return nil, true
+	case noPath:
+		return nil, false
+	}
+	if x == u || x == w {
+		// Cannot happen per Lemma 1 (endpoints are never max-min nodes);
+		// guard against infinite recursion all the same.
+		return nil, false
+	}
+	left, ok := s.path(u, x)
+	if !ok {
+		return nil, false
+	}
+	right, ok := s.path(x, w)
+	if !ok {
+		return nil, false
+	}
+	out := make([]int, 0, len(left)+1+len(right))
+	out = append(out, left...)
+	out = append(out, x)
+	out = append(out, right...)
+	return out, true
+}
+
+// maxMinNode returns the max-min node for (u, w, owner), or directEdge when
+// u and w are adjacent, or noPath when no replacement path connects them.
+func (s *maxMinSolver) maxMinNode(u, w int) int {
+	lv := s.lv
+	if lv.G.HasEdge(u, w) {
+		return directEdge
+	}
+	n := lv.G.N()
+	active := make([]bool, n)
+	uf := graph.NewUnionFind(n)
+	connected := func() bool {
+		ru := endpointRoots(lv, active, uf, u)
+		rw := endpointRoots(lv, active, uf, w)
+		return intersectSorted(ru, rw)
+	}
+	for _, x := range s.byPriority {
+		active[x] = true
+		lv.G.ForEachNeighbor(x, func(y int) {
+			if active[y] {
+				uf.Union(x, y)
+			}
+		})
+		if connected() {
+			return x
+		}
+	}
+	return noPath
+}
+
+// endpointRoots returns the sorted component roots of the active nodes
+// adjacent to (or equal to) endpoint e.
+func endpointRoots(lv *view.Local, active []bool, uf *graph.UnionFind, e int) []int {
+	var roots []int
+	if active[e] {
+		roots = append(roots, uf.Find(e))
+	}
+	lv.G.ForEachNeighbor(e, func(y int) {
+		if active[y] {
+			roots = append(roots, uf.Find(y))
+		}
+	})
+	sortDedup(&roots)
+	return roots
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"adhocbcast/internal/graph"
+	"adhocbcast/internal/view"
+)
+
+// SpanCovered evaluates the enhanced-Span condition (Section 6.1): the
+// owner may take non-coordinator (non-forward) status iff every pair of its
+// neighbors is connected directly or through at most two intermediate
+// higher-priority nodes. It is the generic coverage condition restricted to
+// replacement paths of at most three hops.
+func SpanCovered(lv *view.Local) bool {
+	v := lv.Owner
+	nbrs := lv.G.Neighbors(v)
+	if len(nbrs) <= 1 {
+		return true
+	}
+	prv := lv.Pr[v]
+	n := lv.G.N()
+	inH := make([]bool, n)
+	for x := 0; x < n; x++ {
+		if x != v && lv.Visible[x] && lv.Pr[x].Greater(prv) {
+			inH[x] = true
+		}
+	}
+	// hn[x] = H-neighborhood of x restricted to H members.
+	hn := make([]*graph.Bitset, n)
+	hSet := graph.NewBitset(n)
+	for x := 0; x < n; x++ {
+		if inH[x] {
+			hSet.Set(x)
+		}
+	}
+	hNbrs := func(x int) *graph.Bitset {
+		if hn[x] == nil {
+			bs := graph.NewBitset(n)
+			lv.G.ForEachNeighbor(x, func(y int) {
+				if inH[y] {
+					bs.Set(y)
+				}
+			})
+			hn[x] = bs
+		}
+		return hn[x]
+	}
+	// a[i] = H-nodes adjacent to neighbor i (first intermediate candidates);
+	// b[i] = H-nodes reachable from neighbor i through one H intermediate.
+	a := make([]*graph.Bitset, len(nbrs))
+	b := make([]*graph.Bitset, len(nbrs))
+	scratch := make([]int, 0, n)
+	for i, u := range nbrs {
+		a[i] = hNbrs(u)
+		bs := graph.NewBitset(n)
+		scratch = a[i].Elements(scratch[:0])
+		for _, h := range scratch {
+			bs.Union(hNbrs(h))
+		}
+		b[i] = bs
+	}
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			if lv.G.HasEdge(nbrs[i], nbrs[j]) {
+				continue
+			}
+			if a[i].Intersects(a[j]) {
+				continue // one intermediate
+			}
+			if a[i].Intersects(b[j]) {
+				continue // two intermediates
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// WuLiMarked reports the marking-process gateway status (Section 6.1): the
+// owner is marked iff it has two neighbors that are not directly connected.
+func WuLiMarked(lv *view.Local) bool {
+	nbrs := lv.G.Neighbors(lv.Owner)
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			if !lv.G.HasEdge(nbrs[i], nbrs[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// WuLiRule1 reports whether pruning Rule 1 unmarks the owner: some single
+// higher-priority coverage node u satisfies N(v) ⊆ N(u) ∪ {u}.
+func WuLiRule1(lv *view.Local) bool {
+	nbrs := lv.G.Neighbors(lv.Owner)
+	for _, u := range wuLiCandidates(lv) {
+		if coversAll(lv, nbrs, u, -1) {
+			return true
+		}
+	}
+	return false
+}
+
+// WuLiRule2 reports whether pruning Rule 2 unmarks the owner: two directly
+// connected higher-priority coverage nodes u, w jointly satisfy
+// N(v) ⊆ N(u) ∪ N(w) ∪ {u, w}.
+func WuLiRule2(lv *view.Local) bool {
+	nbrs := lv.G.Neighbors(lv.Owner)
+	cands := wuLiCandidates(lv)
+	for i := 0; i < len(cands); i++ {
+		for j := i + 1; j < len(cands); j++ {
+			if !lv.G.HasEdge(cands[i], cands[j]) {
+				continue
+			}
+			if coversAll(lv, nbrs, cands[i], cands[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// wuLiCandidates lists the possible coverage nodes: visible higher-priority
+// nodes within two hops of the owner (a useful coverage node must be
+// adjacent to at least one of the owner's neighbors).
+func wuLiCandidates(lv *view.Local) []int {
+	v := lv.Owner
+	prv := lv.Pr[v]
+	n := lv.G.N()
+	near := make([]bool, n)
+	lv.G.ForEachNeighbor(v, func(u int) {
+		near[u] = true
+		lv.G.ForEachNeighbor(u, func(w int) {
+			near[w] = true
+		})
+	})
+	var cands []int
+	for x := 0; x < n; x++ {
+		if x != v && near[x] && lv.Visible[x] && lv.Pr[x].Greater(prv) {
+			cands = append(cands, x)
+		}
+	}
+	return cands
+}
+
+// coversAll reports whether every node in nbrs is in N(u) ∪ {u} (or in
+// N(w) ∪ {w} when w >= 0).
+func coversAll(lv *view.Local, nbrs []int, u, w int) bool {
+	for _, x := range nbrs {
+		if x == u || x == w {
+			continue
+		}
+		if lv.G.HasEdge(u, x) {
+			continue
+		}
+		if w >= 0 && lv.G.HasEdge(w, x) {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// SBACovered evaluates SBA's neighbor-elimination condition (Section 6.2):
+// the owner may stay silent iff every neighbor is itself a visited neighbor
+// or adjacent to one. Only visited nodes that are direct neighbors count —
+// SBA learns broadcast state exclusively by hearing neighbors transmit.
+func SBACovered(lv *view.Local) bool {
+	v := lv.Owner
+	nbrs := lv.G.Neighbors(v)
+	n := lv.G.N()
+	done := make([]bool, n)
+	for _, u := range nbrs {
+		if lv.IsVisited(u) {
+			done[u] = true
+			lv.G.ForEachNeighbor(u, func(w int) {
+				done[w] = true
+			})
+		}
+	}
+	for _, u := range nbrs {
+		if !done[u] {
+			return false
+		}
+	}
+	return true
+}
+
+// LENWBCovered evaluates LENWB's condition (Section 6.2) on first receipt
+// from node `from`: compute the set C of nodes connected to `from` via nodes
+// with priority higher than the owner's; the owner is non-forward iff
+// N(owner) ⊆ C.
+func LENWBCovered(lv *view.Local, from int) bool {
+	v := lv.Owner
+	prv := lv.Pr[v]
+	n := lv.G.N()
+	if from < 0 || from >= n {
+		return false
+	}
+	// BFS from `from` expanding only through higher-priority nodes; every
+	// reached node plus its neighbors belong to C.
+	inC := make([]bool, n)
+	reached := make([]bool, n)
+	queue := []int{from}
+	reached[from] = true
+	inC[from] = true
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		lv.G.ForEachNeighbor(x, func(y int) {
+			inC[y] = true
+			if !reached[y] && y != v && lv.Visible[y] && lv.Pr[y].Greater(prv) {
+				reached[y] = true
+				queue = append(queue, y)
+			}
+		})
+	}
+	ok := true
+	lv.G.ForEachNeighbor(v, func(u int) {
+		if !inC[u] {
+			ok = false
+		}
+	})
+	return ok
+}

@@ -1,0 +1,179 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"adhocbcast/internal/core"
+	"adhocbcast/internal/view"
+)
+
+func TestSpanCoveredPathLengthCap(t *testing.T) {
+	// Neighbors 1 and 2 of owner 0 joined through a chain of higher-
+	// priority nodes. With two intermediates (3-4) Span accepts; with three
+	// (3-4-5) the replacement path is four hops and Span must reject even
+	// though the generic condition accepts.
+	twoHop := buildGraph(t, 5, [][2]int{{0, 1}, {0, 2}, {1, 3}, {3, 4}, {4, 2}})
+	lv := localView(t, twoHop, 0, 0, view.MetricID)
+	if !core.SpanCovered(lv) {
+		t.Fatal("two intermediates should satisfy Span")
+	}
+
+	threeHop := buildGraph(t, 6, [][2]int{{0, 1}, {0, 2}, {1, 3}, {3, 4}, {4, 5}, {5, 2}})
+	lv = localView(t, threeHop, 0, 0, view.MetricID)
+	if core.SpanCovered(lv) {
+		t.Fatal("three intermediates must exceed Span's path cap")
+	}
+	if !core.Covered(lv) {
+		t.Fatal("generic condition has no path cap and should accept")
+	}
+}
+
+func TestSpanCoveredOneIntermediate(t *testing.T) {
+	g := buildGraph(t, 4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	if !core.SpanCovered(localView(t, g, 0, 3, view.MetricID)) {
+		t.Fatal("one higher-priority intermediate should satisfy Span")
+	}
+}
+
+func TestSpanCoveredLowPriorityIntermediateRejected(t *testing.T) {
+	// Same shape but the intermediate has the lowest priority.
+	g := buildGraph(t, 4, [][2]int{{3, 1}, {3, 2}, {1, 0}, {2, 0}})
+	if core.SpanCovered(localView(t, g, 3, 3, view.MetricID)) {
+		t.Fatal("Span used a lower-priority intermediate")
+	}
+}
+
+func TestWuLiMarked(t *testing.T) {
+	// Full mesh neighborhood: unmarked. Broken pair: marked.
+	mesh := buildGraph(t, 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}})
+	if core.WuLiMarked(localView(t, mesh, 0, 2, view.MetricID)) {
+		t.Fatal("node with fully meshed neighborhood marked as gateway")
+	}
+	broken := buildGraph(t, 4, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}})
+	if !core.WuLiMarked(localView(t, broken, 0, 2, view.MetricID)) {
+		t.Fatal("node with unconnected neighbors not marked")
+	}
+}
+
+func TestWuLiRule1(t *testing.T) {
+	// N(0) = {1,2}; node 3 is adjacent to both 1 and 2 (and to 0? not
+	// needed): a single higher-priority coverage node.
+	g := buildGraph(t, 4, [][2]int{{0, 1}, {0, 2}, {3, 1}, {3, 2}})
+	if !core.WuLiRule1(localView(t, g, 0, 3, view.MetricID)) {
+		t.Fatal("Rule 1 should fire with coverage node 3")
+	}
+	// From node 3's perspective, node 0 covers N(3) = {1,2} too, but 0 has
+	// a lower id: Rule 1 must not fire.
+	if core.WuLiRule1(localView(t, g, 3, 3, view.MetricID)) {
+		t.Fatal("Rule 1 fired with a lower-priority coverage node")
+	}
+}
+
+func TestWuLiRule2(t *testing.T) {
+	// N(0) = {1,2}; coverage pair {3,4}: 3 covers 1, 4 covers 2, and 3-4
+	// are directly connected.
+	g := buildGraph(t, 5, [][2]int{{0, 1}, {0, 2}, {3, 1}, {4, 2}, {3, 4}})
+	lv := localView(t, g, 0, 3, view.MetricID)
+	if core.WuLiRule1(lv) {
+		t.Fatal("no single node covers N(0); Rule 1 must not fire")
+	}
+	if !core.WuLiRule2(lv) {
+		t.Fatal("Rule 2 should fire with the connected pair {3,4}")
+	}
+	// Disconnect the pair: Rule 2 must fail.
+	g2 := buildGraph(t, 5, [][2]int{{0, 1}, {0, 2}, {3, 1}, {4, 2}})
+	if core.WuLiRule2(localView(t, g2, 0, 3, view.MetricID)) {
+		t.Fatal("Rule 2 fired with a disconnected coverage pair")
+	}
+}
+
+func TestSBACovered(t *testing.T) {
+	// Star owner 0 with neighbors 1,2,3; 1 adjacent to 2.
+	g := buildGraph(t, 5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {3, 4}})
+	lv := localView(t, g, 0, 2, view.MetricID)
+	if core.SBACovered(lv) {
+		t.Fatal("covered with no visited neighbors")
+	}
+	// Visited neighbor 1 covers itself and 2, but not 3.
+	lv.MarkVisited(1)
+	if core.SBACovered(lv) {
+		t.Fatal("covered while neighbor 3 is uncovered")
+	}
+	// Visited neighbor 3 completes the elimination.
+	lv.MarkVisited(3)
+	if !core.SBACovered(lv) {
+		t.Fatal("not covered after all neighbors eliminated")
+	}
+}
+
+func TestSBACoveredIgnoresNonNeighborVisited(t *testing.T) {
+	// A visited node two hops away does not help SBA even if it dominates
+	// the neighborhood: SBA only counts overheard (neighbor) forwards.
+	g := buildGraph(t, 4, [][2]int{{0, 1}, {0, 2}, {3, 1}, {3, 2}})
+	lv := localView(t, g, 0, 2, view.MetricID)
+	lv.MarkVisited(3)
+	if core.SBACovered(lv) {
+		t.Fatal("SBA used a non-neighbor visited node")
+	}
+}
+
+func TestLENWBCovered(t *testing.T) {
+	// Owner 0 receives from 3. C grows from 3 through higher-priority
+	// nodes: 3's neighbors {0,1,4}, then 4 (higher than 0) adds {2}.
+	// N(0) = {1,2,3} ⊆ C: covered.
+	g := buildGraph(t, 5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {3, 1}, {3, 4}, {4, 2}})
+	lv := localView(t, g, 0, 3, view.MetricID)
+	lv.MarkVisited(3)
+	if !core.LENWBCovered(lv, 3) {
+		t.Fatal("LENWB should cover node 0 via sender 3 and node 4")
+	}
+
+	// Same topology but the expansion node has the lowest priority: from
+	// owner 4's perspective (neighbors 2,3), C from sender 3 cannot grow
+	// through node 0 if 0 has lower priority than 4 — C = {3} ∪ N(3).
+	lv = localView(t, g, 4, 3, view.MetricID)
+	lv.MarkVisited(3)
+	if core.LENWBCovered(lv, 3) {
+		t.Fatal("LENWB grew C through a lower-priority node")
+	}
+}
+
+func TestLENWBCoveredBadSender(t *testing.T) {
+	g := buildGraph(t, 3, [][2]int{{0, 1}, {1, 2}})
+	lv := localView(t, g, 1, 2, view.MetricID)
+	if core.LENWBCovered(lv, -1) {
+		t.Fatal("covered with no sender")
+	}
+	if core.LENWBCovered(lv, 99) {
+		t.Fatal("covered with out-of-range sender")
+	}
+}
+
+// TestSpanImpliesCoveredQuick is a focused version of the implication suite
+// with visited marks present, since Span is also used dynamically in
+// regression scenarios.
+func TestSpanImpliesCoveredQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 60; trial++ {
+		g := randomConnectedGraph(t, rng, 5+rng.Intn(15), 0.3)
+		base := view.BasePriorities(g, view.MetricNCR)
+		visited := connectedVisitedSet(rng, g, rng.Intn(3))
+		for v := 0; v < g.N(); v++ {
+			lv := view.NewLocal(g, v, 3, base)
+			skip := false
+			for _, x := range visited {
+				if x == v {
+					skip = true
+				}
+				lv.MarkVisited(x)
+			}
+			if skip {
+				continue
+			}
+			if core.SpanCovered(lv) && !core.Covered(lv) {
+				t.Fatalf("trial %d node %d: Span covered but generic not", trial, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"adhocbcast/internal/graph"
+	"adhocbcast/internal/view"
+)
+
+// buildGraph constructs a graph from an edge list.
+func buildGraph(t *testing.T, n int, edges [][2]int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatalf("AddEdge(%v): %v", e, err)
+		}
+	}
+	return g
+}
+
+// localView builds owner's k-hop view with the given metric.
+func localView(t *testing.T, g *graph.Graph, owner, k int, m view.Metric) *view.Local {
+	t.Helper()
+	return view.NewLocal(g, owner, k, view.BasePriorities(g, m))
+}
+
+// randomConnectedGraph samples connected Erdős–Rényi graphs by rejection.
+func randomConnectedGraph(t *testing.T, rng *rand.Rand, n int, p float64) *graph.Graph {
+	t.Helper()
+	for attempt := 0; attempt < 1000; attempt++ {
+		g := graph.New(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < p {
+					if err := g.AddEdge(u, v); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		if g.Connected() {
+			return g
+		}
+	}
+	t.Fatalf("no connected graph found (n=%d p=%g)", n, p)
+	return nil
+}
+
+// connectedVisitedSet grows a random connected set of visited nodes from a
+// random seed node, matching the paper's assumption that all visited nodes
+// are connected (through the source).
+func connectedVisitedSet(rng *rand.Rand, g *graph.Graph, size int) []int {
+	if size <= 0 {
+		return nil
+	}
+	start := rng.Intn(g.N())
+	visited := []int{start}
+	inSet := map[int]bool{start: true}
+	frontier := g.Neighbors(start)
+	for len(visited) < size && len(frontier) > 0 {
+		i := rng.Intn(len(frontier))
+		v := frontier[i]
+		frontier = append(frontier[:i], frontier[i+1:]...)
+		if inSet[v] {
+			continue
+		}
+		inSet[v] = true
+		visited = append(visited, v)
+		frontier = append(frontier, g.Neighbors(v)...)
+	}
+	return visited
+}
+
+// isCDS reports whether set is a connected dominating set of g.
+func isCDS(g *graph.Graph, set []int) bool {
+	if len(set) == 0 {
+		return false
+	}
+	inSet := make([]bool, g.N())
+	for _, v := range set {
+		inSet[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if inSet[v] {
+			continue
+		}
+		dominated := false
+		g.ForEachNeighbor(v, func(u int) {
+			if inSet[u] {
+				dominated = true
+			}
+		})
+		if !dominated {
+			return false
+		}
+	}
+	induced := graph.New(g.N())
+	for _, v := range set {
+		g.ForEachNeighbor(v, func(u int) {
+			if u > v && inSet[u] {
+				_ = induced.AddEdge(v, u)
+			}
+		})
+	}
+	dist := induced.BFSDistances(set[0])
+	for _, v := range set {
+		if dist[v] < 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,175 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adhocbcast/internal/core"
+	"adhocbcast/internal/view"
+)
+
+// TestTheorem1CDSQuick property-checks Theorem 1: under one (global) view,
+// the set of forward nodes (nodes failing the coverage condition) plus the
+// visited nodes forms a connected dominating set of any connected,
+// non-complete graph.
+func TestTheorem1CDSQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(t, rng, 4+rng.Intn(24), 0.2)
+		if g.IsComplete() {
+			return true // Theorem 1 excludes complete graphs
+		}
+		metric := []view.Metric{view.MetricID, view.MetricDegree, view.MetricNCR}[rng.Intn(3)]
+		base := view.BasePriorities(g, metric)
+		visited := connectedVisitedSet(rng, g, rng.Intn(5))
+		isVisited := make(map[int]bool, len(visited))
+		for _, x := range visited {
+			isVisited[x] = true
+		}
+		var set []int
+		for v := 0; v < g.N(); v++ {
+			lv := view.NewLocal(g, v, 0, base) // one shared global view
+			for _, x := range visited {
+				lv.MarkVisited(x)
+			}
+			if isVisited[v] || !core.Covered(lv) {
+				set = append(set, v)
+			}
+		}
+		return isCDS(g, set)
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem1StrongCDSQuick checks the same property for the strong
+// coverage condition (which implies the generic one, so the resulting
+// forward set is a superset and must also be a CDS).
+func TestTheorem1StrongCDSQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(t, rng, 4+rng.Intn(24), 0.2)
+		if g.IsComplete() {
+			return true
+		}
+		base := view.BasePriorities(g, view.MetricID)
+		var set []int
+		for v := 0; v < g.N(); v++ {
+			lv := view.NewLocal(g, v, 0, base)
+			if !core.StrongCovered(lv) {
+				set = append(set, v)
+			}
+		}
+		return isCDS(g, set)
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(43))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem2LocalViewsCDSQuick property-checks Theorem 2: when every node
+// evaluates the coverage condition under its own distinct local view (random
+// per-node depth, random per-node subsets of the visited-set knowledge), the
+// forward plus visited nodes still form a CDS.
+func TestTheorem2LocalViewsCDSQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(t, rng, 4+rng.Intn(24), 0.2)
+		if g.IsComplete() {
+			return true
+		}
+		metric := []view.Metric{view.MetricID, view.MetricDegree, view.MetricNCR}[rng.Intn(3)]
+		base := view.BasePriorities(g, metric)
+		visited := connectedVisitedSet(rng, g, rng.Intn(5))
+		isVisited := make(map[int]bool, len(visited))
+		for _, x := range visited {
+			isVisited[x] = true
+		}
+		var set []int
+		for v := 0; v < g.N(); v++ {
+			hops := 1 + rng.Intn(4) // distinct view depth per node
+			lv := view.NewLocal(g, v, hops, base)
+			for _, x := range visited {
+				if rng.Intn(2) == 0 { // each node knows a random subset
+					lv.MarkVisited(x)
+				}
+			}
+			if isVisited[v] || !core.Covered(lv) {
+				set = append(set, v)
+			}
+		}
+		return isCDS(g, set)
+	}
+	cfg := &quick.Config{MaxCount: 120, Rand: rand.New(rand.NewSource(47))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem2SupersetProperty checks the corollary stated after Theorem 2:
+// the forward set under local views is a superset of the forward set under
+// the global view.
+func TestTheorem2SupersetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 50; trial++ {
+		g := randomConnectedGraph(t, rng, 6+rng.Intn(20), 0.2)
+		base := view.BasePriorities(g, view.MetricID)
+		for v := 0; v < g.N(); v++ {
+			global := view.NewLocal(g, v, 0, base)
+			local := view.NewLocal(g, v, 2, base)
+			if core.Covered(local) && !core.Covered(global) {
+				t.Fatalf("trial %d node %d: forward under global view but pruned under local view", trial, v)
+			}
+		}
+	}
+}
+
+// TestWuLiRulesImplyStrong checks that each Wu-Li pruning rule exhibits a
+// coverage set, i.e. implies the strong coverage condition.
+func TestWuLiRulesImplyStrong(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 80; trial++ {
+		g := randomConnectedGraph(t, rng, 5+rng.Intn(15), 0.3)
+		base := view.BasePriorities(g, view.MetricID)
+		for v := 0; v < g.N(); v++ {
+			lv := view.NewLocal(g, v, 3, base)
+			if core.WuLiRule1(lv) || core.WuLiRule2(lv) {
+				if !core.StrongCovered(lv) {
+					t.Fatalf("trial %d node %d: Wu-Li rule held but strong coverage failed", trial, v)
+				}
+			}
+			// An unmarked node has a fully meshed neighborhood: it is
+			// always covered.
+			if !core.WuLiMarked(lv) && !core.Covered(lv) {
+				t.Fatalf("trial %d node %d: unmarked but not covered", trial, v)
+			}
+		}
+	}
+}
+
+// TestLENWBImpliesCoveredWithVisitedSender checks that LENWB's condition,
+// evaluated after marking the first sender visited (which is exactly the
+// state a first-receipt node has), implies the generic coverage condition.
+func TestLENWBImpliesCoveredWithVisitedSender(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 80; trial++ {
+		g := randomConnectedGraph(t, rng, 5+rng.Intn(15), 0.3)
+		base := view.BasePriorities(g, view.MetricDegree)
+		for v := 0; v < g.N(); v++ {
+			nbrs := g.Neighbors(v)
+			if len(nbrs) == 0 {
+				continue
+			}
+			from := nbrs[rng.Intn(len(nbrs))]
+			lv := view.NewLocal(g, v, 2, base)
+			lv.MarkVisited(from)
+			if core.LENWBCovered(lv, from) && !core.Covered(lv) {
+				t.Fatalf("trial %d node %d from %d: LENWB covered but generic condition failed", trial, v, from)
+			}
+		}
+	}
+}

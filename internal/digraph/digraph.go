@@ -1,0 +1,128 @@
+// Package digraph models ad hoc networks with unidirectional links — nodes
+// with heterogeneous transmitter ranges hear some neighbors they cannot
+// reach — and provides the bidirectional abstraction sublayer the paper
+// assumes on top of them (Section 2, assumption 3: "a sublayer can be added
+// to provide a bidirectional abstraction for unidirectional ad hoc
+// networks"). The broadcast framework then runs unchanged on the extracted
+// bidirectional core.
+package digraph
+
+import (
+	"fmt"
+	"sort"
+
+	"adhocbcast/internal/geo"
+	"adhocbcast/internal/graph"
+)
+
+// Digraph is a simple directed graph on vertices 0..N()-1; an arc (u, v)
+// means v hears u's transmissions.
+type Digraph struct {
+	n   int
+	out [][]int
+	m   int
+}
+
+// New returns an empty digraph with n vertices.
+func New(n int) *Digraph {
+	if n < 0 {
+		n = 0
+	}
+	return &Digraph{
+		n:   n,
+		out: make([][]int, n),
+	}
+}
+
+// N returns the number of vertices.
+func (d *Digraph) N() int { return d.n }
+
+// M returns the number of arcs.
+func (d *Digraph) M() int { return d.m }
+
+// AddArc inserts the arc (u, v). Self-loops and out-of-range vertices are
+// rejected; duplicates are no-ops.
+func (d *Digraph) AddArc(u, v int) error {
+	if u < 0 || v < 0 || u >= d.n || v >= d.n {
+		return fmt.Errorf("digraph: arc (%d,%d) out of range [0,%d)", u, v, d.n)
+	}
+	if u == v {
+		return fmt.Errorf("digraph: self-loop at %d", u)
+	}
+	i := sort.SearchInts(d.out[u], v)
+	if i < len(d.out[u]) && d.out[u][i] == v {
+		return nil
+	}
+	d.out[u] = append(d.out[u], 0)
+	copy(d.out[u][i+1:], d.out[u][i:])
+	d.out[u][i] = v
+	d.m++
+	return nil
+}
+
+// HasArc reports whether the arc (u, v) is present.
+func (d *Digraph) HasArc(u, v int) bool {
+	if u < 0 || v < 0 || u >= d.n || v >= d.n {
+		return false
+	}
+	i := sort.SearchInts(d.out[u], v)
+	return i < len(d.out[u]) && d.out[u][i] == v
+}
+
+// OutNeighbors returns a copy of u's out-neighbor list in ascending order.
+func (d *Digraph) OutNeighbors(u int) []int {
+	return append([]int(nil), d.out[u]...)
+}
+
+// FromRanges builds the directed connectivity induced by per-node
+// transmitter ranges: arc (u, v) exists iff v lies within u's range.
+// Positions and ranges must have the same length.
+func FromRanges(pos []geo.Point, ranges []float64) (*Digraph, error) {
+	if len(pos) != len(ranges) {
+		return nil, fmt.Errorf("digraph: %d positions but %d ranges", len(pos), len(ranges))
+	}
+	d := New(len(pos))
+	for u := range pos {
+		for v := range pos {
+			if u == v {
+				continue
+			}
+			if pos[u].Distance(pos[v]) <= ranges[u] {
+				// Arguments are valid by construction.
+				_ = d.AddArc(u, v)
+			}
+		}
+	}
+	return d, nil
+}
+
+// BidirectionalCore extracts the bidirectional abstraction: the undirected
+// graph containing exactly the links that exist in both directions. The
+// broadcast framework (which assumes no unidirectional links) runs on this
+// core unchanged.
+func BidirectionalCore(d *Digraph) *graph.Graph {
+	g := graph.New(d.n)
+	for u := 0; u < d.n; u++ {
+		for _, v := range d.out[u] {
+			if v > u && d.HasArc(v, u) {
+				// Both endpoints are valid vertices.
+				_ = g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// UnidirectionalArcs returns the arcs that have no reverse counterpart —
+// the links the abstraction sublayer hides from the upper layers.
+func UnidirectionalArcs(d *Digraph) [][2]int {
+	var out [][2]int
+	for u := 0; u < d.n; u++ {
+		for _, v := range d.out[u] {
+			if !d.HasArc(v, u) {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}

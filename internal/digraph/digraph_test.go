@@ -1,0 +1,159 @@
+package digraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adhocbcast/internal/geo"
+	"adhocbcast/internal/protocol"
+	"adhocbcast/internal/sim"
+)
+
+func TestAddArcBasics(t *testing.T) {
+	d := New(3)
+	if err := d.AddArc(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasArc(0, 1) {
+		t.Fatal("arc missing")
+	}
+	if d.HasArc(1, 0) {
+		t.Fatal("reverse arc appeared")
+	}
+	if err := d.AddArc(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.M() != 1 {
+		t.Fatalf("M = %d after duplicate", d.M())
+	}
+	if err := d.AddArc(1, 1); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if err := d.AddArc(0, 5); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	out := d.OutNeighbors(0)
+	out[0] = 99
+	if d.OutNeighbors(0)[0] != 1 {
+		t.Fatal("OutNeighbors exposed internal storage")
+	}
+}
+
+func TestFromRanges(t *testing.T) {
+	// Three collinear nodes at x = 0, 1, 2. Node 0 has range 2.5 (hears
+	// nobody... reaches both), node 1 range 1.1, node 2 range 0.5.
+	pos := []geo.Point{{X: 0}, {X: 1}, {X: 2}}
+	ranges := []float64{2.5, 1.1, 0.5}
+	d, err := FromRanges(pos, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantArcs := map[[2]int]bool{
+		{0, 1}: true, {0, 2}: true, // node 0 reaches everyone
+		{1, 0}: true, {1, 2}: true, // node 1 reaches both at distance 1
+	}
+	for u := 0; u < 3; u++ {
+		for v := 0; v < 3; v++ {
+			if u == v {
+				continue
+			}
+			if d.HasArc(u, v) != wantArcs[[2]int{u, v}] {
+				t.Fatalf("arc (%d,%d) = %v", u, v, d.HasArc(u, v))
+			}
+		}
+	}
+
+	if _, err := FromRanges(pos, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestBidirectionalCore(t *testing.T) {
+	pos := []geo.Point{{X: 0}, {X: 1}, {X: 2}}
+	ranges := []float64{2.5, 1.1, 0.5}
+	d, err := FromRanges(pos, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := BidirectionalCore(d)
+	if !core.HasEdge(0, 1) {
+		t.Fatal("bidirectional link {0,1} missing")
+	}
+	if core.HasEdge(0, 2) || core.HasEdge(1, 2) {
+		t.Fatal("unidirectional link leaked into the core")
+	}
+	uni := UnidirectionalArcs(d)
+	want := map[[2]int]bool{{0, 2}: true, {1, 2}: true}
+	if len(uni) != 2 {
+		t.Fatalf("unidirectional arcs = %v", uni)
+	}
+	for _, a := range uni {
+		if !want[a] {
+			t.Fatalf("unexpected unidirectional arc %v", a)
+		}
+	}
+}
+
+// TestCorePropertiesQuick: the bidirectional core is symmetric by
+// construction, contained in the digraph both ways, and together with the
+// unidirectional arcs accounts for every arc.
+func TestCorePropertiesQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		pos := make([]geo.Point, n)
+		ranges := make([]float64, n)
+		for i := range pos {
+			pos[i] = geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			ranges[i] = 20 + rng.Float64()*40
+		}
+		d, err := FromRanges(pos, ranges)
+		if err != nil {
+			return false
+		}
+		core := BidirectionalCore(d)
+		for _, e := range core.Edges() {
+			if !d.HasArc(e[0], e[1]) || !d.HasArc(e[1], e[0]) {
+				return false
+			}
+		}
+		uni := len(UnidirectionalArcs(d))
+		return 2*core.M()+uni == d.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(7))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBroadcastOnBidirectionalCore runs the framework end to end on the
+// abstraction: generate heterogeneous ranges, extract the core, and (when
+// connected) broadcast with the generic algorithm.
+func TestBroadcastOnBidirectionalCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 30; trial++ {
+		n := 40
+		pos := make([]geo.Point, n)
+		ranges := make([]float64, n)
+		for i := range pos {
+			pos[i] = geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}
+			ranges[i] = 30 + rng.Float64()*20
+		}
+		d, err := FromRanges(pos, ranges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		core := BidirectionalCore(d)
+		if !core.Connected() {
+			continue
+		}
+		res, err := sim.Run(core, 0, protocol.Generic(protocol.TimingFirstReceipt),
+			sim.Config{Hops: 2, Seed: int64(trial)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.FullDelivery() {
+			t.Fatalf("trial %d: delivered %d/%d on bidirectional core", trial, res.Delivered, res.N)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package experiments reproduces the paper's evaluation (Section 7): one
+// driver per figure, each sweeping network size and density, replicating
+// every data point until its confidence interval is tight, and emitting the
+// same series the paper plots. Common random numbers are used across the
+// algorithms of a figure: replication i of every series sees the same
+// network and source.
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"adhocbcast/internal/geo"
+	"adhocbcast/internal/sim"
+	"adhocbcast/internal/stats"
+)
+
+// RunConfig controls a figure reproduction.
+type RunConfig struct {
+	// Sizes lists the network sizes n (default 20..100 step 10).
+	Sizes []int
+	// Degrees lists the average degrees d (default 6 and 18).
+	Degrees []int
+	// Replicate controls the per-point replication loop. The zero value
+	// uses a quick preset (30..200 runs, 3% CI); see Paper for the paper's
+	// full ±1% criterion.
+	Replicate stats.ReplicateOptions
+	// Seed is the base seed; all workload randomness derives from it.
+	Seed int64
+	// Parallelism bounds the number of data points measured concurrently
+	// (default GOMAXPROCS). Results are deterministic regardless: every
+	// point's workloads derive from (Seed, n, d, replication) alone.
+	Parallelism int
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{20, 30, 40, 50, 60, 70, 80, 90, 100}
+	}
+	if len(c.Degrees) == 0 {
+		c.Degrees = []int{6, 18}
+	}
+	if c.Replicate.MinRuns == 0 {
+		c.Replicate.MinRuns = 30
+	}
+	if c.Replicate.MaxRuns == 0 {
+		c.Replicate.MaxRuns = 200
+	}
+	if c.Replicate.RelTol == 0 {
+		c.Replicate.RelTol = 0.03
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Paper returns the paper's replication criterion: repeat until the 90%
+// confidence interval is within ±1% of the mean.
+func Paper() stats.ReplicateOptions {
+	return stats.ReplicateOptions{MinRuns: 30, MaxRuns: 2000, RelTol: 0.01}
+}
+
+// Quick returns a reduced replication preset for tests and benchmarks.
+func Quick() stats.ReplicateOptions {
+	return stats.ReplicateOptions{MinRuns: 10, MaxRuns: 20, RelTol: 0.2}
+}
+
+// Point is one averaged data point of a series.
+type Point struct {
+	// X is the network size n.
+	X int
+	// Mean is the average number of forward nodes.
+	Mean float64
+	// CI is the 90% confidence half-width of Mean.
+	CI float64
+	// Runs is the number of replications used.
+	Runs int
+}
+
+// Series is one curve of a figure panel.
+type Series struct {
+	// Label matches the legend label in the paper.
+	Label string
+	// Points holds one point per network size, in Sizes order.
+	Points []Point
+}
+
+// Panel is one subplot (a fixed density and view depth).
+type Panel struct {
+	// Title identifies the subplot, e.g. "d=6, 2-hop".
+	Title string
+	// Series holds the panel's curves.
+	Series []Series
+}
+
+// Figure is one reproduced evaluation figure.
+type Figure struct {
+	// ID is the paper's figure number, e.g. "10".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Unit names the measured quantity (default "mean forward nodes").
+	Unit string
+	// Panels holds the subplots in the paper's order.
+	Panels []Panel
+}
+
+// variant binds a legend label to a protocol factory and simulator
+// configuration.
+type variant struct {
+	label string
+	cfg   sim.Config
+	make  func() sim.Protocol
+}
+
+// measure averages the forward-node count of one variant at one (n, d)
+// point, generating a fresh connected network and random source per
+// replication. Replication i uses the same workload for every variant.
+func measure(rc RunConfig, n, d int, v variant) (stats.Summary, error) {
+	return stats.RunUntilCI(rc.Replicate, func(i int) (float64, error) {
+		seed := workloadSeed(rc.Seed, n, d, i)
+		rng := rand.New(rand.NewSource(seed))
+		net, err := geo.Generate(geo.Config{N: n, AvgDegree: float64(d)}, rng)
+		if err != nil {
+			return 0, err
+		}
+		source := rng.Intn(n)
+		cfg := v.cfg
+		cfg.Seed = seed + 1
+		res, err := sim.Run(net.G, source, v.make(), cfg)
+		if err != nil {
+			return 0, err
+		}
+		if !res.FullDelivery() {
+			return 0, fmt.Errorf("experiments: %s delivered %d/%d (n=%d d=%d rep=%d)",
+				v.label, res.Delivered, res.N, n, d, i)
+		}
+		return float64(res.ForwardCount()), nil
+	})
+}
+
+// workloadSeed derives a deterministic seed from the experiment inputs.
+// The variant label is deliberately excluded so all series share workloads.
+func workloadSeed(base int64, n, d, rep int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%d|%d", base, n, d, rep)
+	return int64(h.Sum64() & (1<<62 - 1))
+}
+
+// sweep builds one panel from the given variants, measuring the (variant,
+// size) points on a bounded worker pool. Each point is fully determined by
+// its inputs, so the parallel schedule never changes the results.
+func sweep(rc RunConfig, title string, d int, variants []variant) (Panel, error) {
+	type job struct {
+		vi, ni int
+	}
+	jobs := make(chan job)
+	points := make([][]Point, len(variants))
+	errs := make([][]error, len(variants))
+	for vi := range variants {
+		points[vi] = make([]Point, len(rc.Sizes))
+		errs[vi] = make([]error, len(rc.Sizes))
+	}
+
+	var wg sync.WaitGroup
+	workers := rc.Parallelism
+	if total := len(variants) * len(rc.Sizes); workers > total {
+		workers = total
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				v, n := variants[j.vi], rc.Sizes[j.ni]
+				sum, err := measure(rc, n, d, v)
+				if err != nil {
+					// Each job owns its error slot; the pool keeps
+					// draining so it always terminates.
+					errs[j.vi][j.ni] = fmt.Errorf("%s n=%d d=%d: %w", v.label, n, d, err)
+					continue
+				}
+				points[j.vi][j.ni] = Point{
+					X:    n,
+					Mean: sum.Mean,
+					CI:   sum.HalfWidth90,
+					Runs: sum.N,
+				}
+			}
+		}()
+	}
+	for vi := range variants {
+		for ni := range rc.Sizes {
+			jobs <- job{vi: vi, ni: ni}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	panel := Panel{Title: title}
+	for vi, v := range variants {
+		for ni := range rc.Sizes {
+			if err := errs[vi][ni]; err != nil {
+				return Panel{}, err
+			}
+		}
+		panel.Series = append(panel.Series, Series{Label: v.label, Points: points[vi]})
+	}
+	return panel, nil
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"adhocbcast/internal/protocol"
+	"adhocbcast/internal/sim"
+	"adhocbcast/internal/stats"
+	"adhocbcast/internal/view"
+)
+
+// tinyConfig keeps figure reproduction fast in tests.
+func tinyConfig() RunConfig {
+	return RunConfig{
+		Sizes:     []int{20, 30},
+		Degrees:   []int{6},
+		Replicate: stats.ReplicateOptions{MinRuns: 5, MaxRuns: 8, RelTol: 0.5},
+		Seed:      7,
+	}
+}
+
+func TestRunConfigDefaults(t *testing.T) {
+	rc := RunConfig{}.withDefaults()
+	if len(rc.Sizes) != 9 || rc.Sizes[0] != 20 || rc.Sizes[8] != 100 {
+		t.Fatalf("default sizes = %v", rc.Sizes)
+	}
+	if len(rc.Degrees) != 2 || rc.Degrees[0] != 6 || rc.Degrees[1] != 18 {
+		t.Fatalf("default degrees = %v", rc.Degrees)
+	}
+	if rc.Seed == 0 {
+		t.Fatal("default seed missing")
+	}
+}
+
+func TestWorkloadSeedProperties(t *testing.T) {
+	a := workloadSeed(1, 20, 6, 0)
+	if a != workloadSeed(1, 20, 6, 0) {
+		t.Fatal("workloadSeed not deterministic")
+	}
+	if a < 0 {
+		t.Fatal("workloadSeed negative")
+	}
+	distinct := map[int64]bool{}
+	for rep := 0; rep < 50; rep++ {
+		distinct[workloadSeed(1, 20, 6, rep)] = true
+	}
+	if len(distinct) != 50 {
+		t.Fatalf("replication seeds collide: %d distinct of 50", len(distinct))
+	}
+	if workloadSeed(1, 20, 6, 0) == workloadSeed(1, 30, 6, 0) {
+		t.Fatal("different sizes share a seed")
+	}
+}
+
+func TestMeasureCommonRandomNumbers(t *testing.T) {
+	// Two variants with the same protocol must produce identical summaries:
+	// the workloads are shared across variants by construction.
+	rc := tinyConfig()
+	rc = rc.withDefaults()
+	mk := func() sim.Protocol { return protocol.Generic(protocol.TimingFirstReceipt) }
+	v1 := variant{label: "a", cfg: sim.Config{Hops: 2}, make: mk}
+	v2 := variant{label: "b", cfg: sim.Config{Hops: 2}, make: mk}
+	s1, err := measure(rc, 20, 6, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := measure(rc, 20, 6, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Mean != s2.Mean || s1.N != s2.N {
+		t.Fatalf("same protocol, different stats: %+v vs %+v", s1, s2)
+	}
+}
+
+func TestFigureByIDUnknown(t *testing.T) {
+	if _, err := FigureByID("9", RunConfig{}); err == nil {
+		t.Fatal("figure 9 is the sample scenario, not a sweep; must error")
+	}
+	if _, err := FigureByID("x", RunConfig{}); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestAllFigureIDs(t *testing.T) {
+	ids := AllFigureIDs()
+	if len(ids) != 7 || ids[0] != "10" || ids[6] != "16" {
+		t.Fatalf("AllFigureIDs = %v", ids)
+	}
+}
+
+func TestFigureStructures(t *testing.T) {
+	rc := tinyConfig()
+	tests := []struct {
+		id         string
+		wantPanels int
+		wantSeries []string
+	}{
+		{id: "10", wantPanels: 1, wantSeries: []string{"Static", "FR", "FRB", "FRBD"}},
+		{id: "11", wantPanels: 1, wantSeries: []string{"SP", "ND", "MaxDeg", "MinPri"}},
+		{id: "12", wantPanels: 1, wantSeries: []string{"2-hop", "3-hop", "4-hop", "5-hop", "global"}},
+		{id: "13", wantPanels: 1, wantSeries: []string{"ID", "Degree", "NCR"}},
+		{id: "14", wantPanels: 2, wantSeries: []string{"MPR", "Span", "Rule k", "Generic"}},
+		{id: "15", wantPanels: 2, wantSeries: []string{"DP", "PDP", "LENWB", "Generic"}},
+		{id: "16", wantPanels: 2, wantSeries: []string{"SBA", "Generic"}},
+	}
+	for _, tt := range tests {
+		t.Run("figure"+tt.id, func(t *testing.T) {
+			t.Parallel()
+			fig, err := FigureByID(tt.id, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fig.ID != tt.id {
+				t.Fatalf("ID = %q", fig.ID)
+			}
+			if len(fig.Panels) != tt.wantPanels {
+				t.Fatalf("panels = %d, want %d", len(fig.Panels), tt.wantPanels)
+			}
+			for _, panel := range fig.Panels {
+				if len(panel.Series) != len(tt.wantSeries) {
+					t.Fatalf("panel %q series = %d, want %d",
+						panel.Title, len(panel.Series), len(tt.wantSeries))
+				}
+				for i, s := range panel.Series {
+					if s.Label != tt.wantSeries[i] {
+						t.Fatalf("series %d label = %q, want %q", i, s.Label, tt.wantSeries[i])
+					}
+					if len(s.Points) != len(rc.Sizes) {
+						t.Fatalf("series %q has %d points, want %d",
+							s.Label, len(s.Points), len(rc.Sizes))
+					}
+					for j, pt := range s.Points {
+						if pt.X != rc.Sizes[j] {
+							t.Fatalf("point %d X = %d, want %d", j, pt.X, rc.Sizes[j])
+						}
+						if pt.Mean < 1 || pt.Mean > float64(pt.X) {
+							t.Fatalf("series %q point %d mean %v out of range", s.Label, j, pt.Mean)
+						}
+						if pt.Runs < rc.Replicate.MinRuns {
+							t.Fatalf("point used %d runs, want >= %d", pt.Runs, rc.Replicate.MinRuns)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestFormat(t *testing.T) {
+	fig := Figure{
+		ID:    "10",
+		Title: "test",
+		Panels: []Panel{{
+			Title: "d=6",
+			Series: []Series{
+				{Label: "A", Points: []Point{{X: 20, Mean: 7.5, CI: 0.3}}},
+				{Label: "B", Points: []Point{{X: 20, Mean: 9.1, CI: 0.4}}},
+			},
+		}},
+	}
+	out := Format(fig)
+	for _, want := range []string{"Figure 10", "[d=6]", "A", "B", "7.50", "9.10", "20"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{
+		"Rule k, Span", "MPR", "LENWB", "DP, PDP", "SBA",
+		"Static", "First-receipt", "First-receipt-with-backoff",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+	// The FRB row has no neighbor-designating entry.
+	lines := strings.Split(out, "\n")
+	found := false
+	for _, line := range lines {
+		if strings.Contains(line, "First-receipt-with-backoff") {
+			found = true
+			if !strings.Contains(line, "-") {
+				t.Fatalf("FRB row should have an empty ND cell: %q", line)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("FRB row missing")
+	}
+}
+
+func TestPaperAndQuickPresets(t *testing.T) {
+	p := Paper()
+	if p.RelTol != 0.01 || p.MinRuns != 30 {
+		t.Fatalf("Paper() = %+v", p)
+	}
+	q := Quick()
+	if q.MaxRuns >= p.MaxRuns {
+		t.Fatalf("Quick() not quicker than Paper(): %+v", q)
+	}
+}
+
+// TestFigure10ShapeTiny checks the headline qualitative result on a reduced
+// sweep: static produces more forward nodes than FR on average.
+func TestFigure10ShapeTiny(t *testing.T) {
+	rc := RunConfig{
+		Sizes:     []int{60},
+		Degrees:   []int{6},
+		Replicate: stats.ReplicateOptions{MinRuns: 25, MaxRuns: 30, RelTol: 0.2},
+		Seed:      11,
+	}
+	fig, err := Figure10(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := fig.Panels[0].Series
+	static := series[0].Points[0].Mean
+	fr := series[1].Points[0].Mean
+	if static <= fr {
+		t.Fatalf("Static (%v) should exceed FR (%v)", static, fr)
+	}
+}
+
+func TestVariantMetricsRespected(t *testing.T) {
+	// Figure 13's variants carry different metrics; ensure they propagate
+	// into distinct results.
+	rc := RunConfig{
+		Sizes:     []int{60},
+		Degrees:   []int{6},
+		Replicate: stats.ReplicateOptions{MinRuns: 20, MaxRuns: 25, RelTol: 0.2},
+		Seed:      13,
+	}
+	fig, err := Figure13(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := fig.Panels[0].Series[0].Points[0].Mean
+	deg := fig.Panels[0].Series[1].Points[0].Mean
+	if id == deg {
+		t.Fatal("ID and Degree metrics produced identical means; metric likely not applied")
+	}
+	_ = view.MetricNCR // silence unused-import lint if tests shrink
+}

@@ -1,0 +1,378 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adhocbcast/internal/cds"
+	"adhocbcast/internal/cluster"
+	"adhocbcast/internal/core"
+	"adhocbcast/internal/geo"
+	"adhocbcast/internal/graph"
+	"adhocbcast/internal/mobility"
+	"adhocbcast/internal/protocol"
+	"adhocbcast/internal/sim"
+	"adhocbcast/internal/stats"
+	"adhocbcast/internal/view"
+)
+
+// The experiments in this file go beyond the paper's figures: they quantify
+// the claims its discussion sections make without plots (mobility tolerance,
+// collision relief via jitter) and ablate the design choices called out in
+// DESIGN.md (piggyback depth, backoff window, the visited-union assumption).
+// Their X axes are parameter values rather than network sizes.
+
+// Mobility reproduces the Section 1 mobility claim: nodes move between the
+// hello exchange and the broadcast, so protocols decide on stale views while
+// packets propagate over the actual topology. The series report the average
+// delivery ratio (in percent) of algorithms with increasing redundancy as a
+// function of the maximum per-node movement (in area units). Flooding is the
+// upper bound; more aggressive pruning degrades faster.
+func Mobility(rc RunConfig) (Figure, error) {
+	rc = rc.withDefaults()
+	steps := []int{0, 1, 2, 3, 5, 8}
+	variants := []struct {
+		label string
+		make  func() sim.Protocol
+	}{
+		{label: "Flooding", make: protocol.Flooding},
+		{label: "SBA", make: protocol.SBA},
+		{label: "Generic-FRB", make: func() sim.Protocol { return protocol.Generic(protocol.TimingBackoffRandom) }},
+		{label: "Generic-FR", make: func() sim.Protocol { return protocol.Generic(protocol.TimingFirstReceipt) }},
+	}
+	fig := Figure{ID: "M1", Title: "Delivery ratio under stale views vs node movement", Unit: "delivery %"}
+	for _, d := range rc.Degrees {
+		panel := Panel{Title: fmt.Sprintf("d=%d, n=100, 2-hop", d)}
+		for _, v := range variants {
+			s := Series{Label: v.label}
+			for _, step := range steps {
+				sum, err := stats.RunUntilCI(rc.Replicate, func(i int) (float64, error) {
+					seed := workloadSeed(rc.Seed, 100, d, i) ^ int64(step<<32)
+					rng := rand.New(rand.NewSource(seed))
+					stale, err := generateNet(rng, 100, d)
+					if err != nil {
+						return 0, err
+					}
+					actual := mobility.Perturbed(stale, 100, float64(step), rng)
+					res, err := sim.Run(actual.G, rng.Intn(100), v.make(), sim.Config{
+						Hops:         2,
+						ViewTopology: stale.G,
+						Seed:         seed + 1,
+					})
+					if err != nil {
+						return 0, err
+					}
+					return 100 * res.DeliveryRatio(), nil
+				})
+				if err != nil {
+					return Figure{}, fmt.Errorf("mobility %s step %d: %w", v.label, step, err)
+				}
+				s.Points = append(s.Points, Point{X: step, Mean: sum.Mean, CI: sum.HalfWidth90, Runs: sum.N})
+			}
+			panel.Series = append(panel.Series, s)
+		}
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return fig, nil
+}
+
+// Reliability quantifies the broadcast storm discussion: under a collision
+// MAC, synchronized retransmissions destroy each other; a small forwarding
+// jitter restores delivery, and pruning protocols suffer far less than
+// flooding to begin with. Series report delivery ratio (%) vs jitter window.
+func Reliability(rc RunConfig) (Figure, error) {
+	rc = rc.withDefaults()
+	jitters := []int{0, 1, 2, 4}
+	variants := []struct {
+		label string
+		make  func() sim.Protocol
+	}{
+		{label: "Flooding", make: protocol.Flooding},
+		{label: "Generic-FR", make: func() sim.Protocol { return protocol.Generic(protocol.TimingFirstReceipt) }},
+	}
+	fig := Figure{ID: "R1", Title: "Delivery ratio under a collision MAC vs forwarding jitter", Unit: "delivery %"}
+	for _, d := range rc.Degrees {
+		panel := Panel{Title: fmt.Sprintf("d=%d, n=100, 2-hop", d)}
+		for _, v := range variants {
+			s := Series{Label: v.label}
+			for _, j := range jitters {
+				sum, err := stats.RunUntilCI(rc.Replicate, func(i int) (float64, error) {
+					seed := workloadSeed(rc.Seed, 100, d, i) ^ int64(j<<40)
+					rng := rand.New(rand.NewSource(seed))
+					net, err := generateNet(rng, 100, d)
+					if err != nil {
+						return 0, err
+					}
+					res, err := sim.Run(net.G, rng.Intn(100), v.make(), sim.Config{
+						Hops:       2,
+						Collisions: true,
+						TxJitter:   float64(j),
+						Seed:       seed + 1,
+					})
+					if err != nil {
+						return 0, err
+					}
+					return 100 * res.DeliveryRatio(), nil
+				})
+				if err != nil {
+					return Figure{}, fmt.Errorf("reliability %s jitter %d: %w", v.label, j, err)
+				}
+				s.Points = append(s.Points, Point{X: j, Mean: sum.Mean, CI: sum.HalfWidth90, Runs: sum.N})
+			}
+			panel.Series = append(panel.Series, s)
+		}
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return fig, nil
+}
+
+// PiggybackAblation sweeps the broadcast-state depth h (Section 4.3): the
+// number of recently visited nodes carried in the packet. The paper observes
+// that extra piggybacked history has little impact; this ablation measures
+// it. X is h; -1 disables piggybacking entirely (snooping only).
+func PiggybackAblation(rc RunConfig) (Figure, error) {
+	rc = rc.withDefaults()
+	fig := Figure{ID: "A1", Title: "Ablation: forward nodes vs piggyback depth h (Generic-FR)"}
+	for _, d := range rc.Degrees {
+		panel := Panel{Title: fmt.Sprintf("d=%d, n=100, 2-hop", d)}
+		s := Series{Label: "Generic-FR"}
+		for _, h := range []int{-1, 1, 2, 4, 8} {
+			v := variant{
+				label: fmt.Sprintf("h=%d", h),
+				cfg:   sim.Config{Hops: 2, PiggybackDepth: h},
+				make:  func() sim.Protocol { return protocol.Generic(protocol.TimingFirstReceipt) },
+			}
+			sum, err := measure(rc, 100, d, v)
+			if err != nil {
+				return Figure{}, err
+			}
+			x := h
+			if h < 0 {
+				x = 0
+			}
+			s.Points = append(s.Points, Point{X: x, Mean: sum.Mean, CI: sum.HalfWidth90, Runs: sum.N})
+		}
+		panel.Series = append(panel.Series, s)
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return fig, nil
+}
+
+// BackoffAblation sweeps the FRB/FRBD backoff window (in transmission
+// slots), documenting the calibration of DESIGN.md: the benefit of waiting
+// only materializes once the window spans several transmission delays.
+func BackoffAblation(rc RunConfig) (Figure, error) {
+	rc = rc.withDefaults()
+	fig := Figure{ID: "A2", Title: "Ablation: forward nodes vs backoff window (n=100)"}
+	for _, d := range rc.Degrees {
+		panel := Panel{Title: fmt.Sprintf("d=%d, n=100, 2-hop", d)}
+		for _, timing := range []protocol.Timing{protocol.TimingBackoffRandom, protocol.TimingBackoffDegree} {
+			timing := timing
+			s := Series{Label: timing.String()}
+			for _, w := range []int{1, 2, 4, 8, 16} {
+				v := variant{
+					label: fmt.Sprintf("w=%d", w),
+					cfg:   sim.Config{Hops: 2, BackoffWindow: float64(w)},
+					make:  func() sim.Protocol { return protocol.Generic(timing) },
+				}
+				sum, err := measure(rc, 100, d, v)
+				if err != nil {
+					return Figure{}, err
+				}
+				s.Points = append(s.Points, Point{X: w, Mean: sum.Mean, CI: sum.HalfWidth90, Runs: sum.N})
+			}
+			panel.Series = append(panel.Series, s)
+		}
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return fig, nil
+}
+
+// VisitedUnionAblation contrasts the generic coverage condition with and
+// without the visited-nodes-are-connected assumption (the Figure 6(b)
+// mechanism), measuring how much pruning the assumption is worth. X is the
+// network size.
+func VisitedUnionAblation(rc RunConfig) (Figure, error) {
+	rc = rc.withDefaults()
+	withUnion := func() sim.Protocol { return protocol.Generic(protocol.TimingFirstReceipt) }
+	withoutUnion := func() sim.Protocol {
+		return protocol.New(protocol.Options{
+			Name:      "Generic-NoUnion",
+			Timing:    protocol.TimingFirstReceipt,
+			Selection: protocol.SelfPruning,
+			Covered: func(_ *sim.Network, st *sim.NodeState) bool {
+				return core.CoveredWithoutVisitedUnion(st.View)
+			},
+			SelfPrune: true,
+		})
+	}
+	variants := []variant{
+		{label: "with union", cfg: sim.Config{Hops: 2}, make: withUnion},
+		{label: "without union", cfg: sim.Config{Hops: 2}, make: withoutUnion},
+	}
+	fig := Figure{ID: "A3", Title: "Ablation: the visited-union assumption (Generic-FR, 2-hop)"}
+	for _, d := range rc.Degrees {
+		panel, err := sweep(rc, fmt.Sprintf("d=%d", d), d, variants)
+		if err != nil {
+			return Figure{}, err
+		}
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return fig, nil
+}
+
+// Clustering compares backbone sizes in dense networks (the Section 2 /
+// Section 6 density discussion): the raw lowest-id cluster backbone (heads
+// plus gateways), the same backbone after coverage-condition reduction, and
+// the distributed generic static backbone, across densities. X is the
+// average degree d at n=100.
+func Clustering(rc RunConfig) (Figure, error) {
+	rc = rc.withDefaults()
+	degrees := []int{6, 12, 18, 24, 30}
+	type method struct {
+		label string
+		size  func(g *graph.Graph) (int, error)
+	}
+	methods := []method{
+		{label: "Cluster backbone", size: func(g *graph.Graph) (int, error) {
+			return len(cluster.LowestID(g).Backbone(g)), nil
+		}},
+		{label: "Cluster+reduce", size: func(g *graph.Graph) (int, error) {
+			return len(cds.Reduce(g, cluster.LowestID(g).Backbone(g))), nil
+		}},
+		{label: "Generic static", size: func(g *graph.Graph) (int, error) {
+			base := view.BasePriorities(g, view.MetricID)
+			count := 0
+			for v := 0; v < g.N(); v++ {
+				lv := view.NewLocal(g, v, 2, base)
+				if !core.Covered(lv) {
+					count++
+				}
+			}
+			return count, nil
+		}},
+		{label: "Guha-Khuller", size: func(g *graph.Graph) (int, error) {
+			set, err := cds.GuhaKhuller(g)
+			return len(set), err
+		}},
+	}
+	fig := Figure{
+		ID:    "C1",
+		Title: "Backbone sizes vs density (n=100)",
+		Unit:  "mean backbone size",
+	}
+	panel := Panel{Title: "n=100"}
+	for _, m := range methods {
+		s := Series{Label: m.label}
+		for _, d := range degrees {
+			sum, err := stats.RunUntilCI(rc.Replicate, func(i int) (float64, error) {
+				seed := workloadSeed(rc.Seed, 100, d, i)
+				rng := rand.New(rand.NewSource(seed))
+				net, err := generateNet(rng, 100, d)
+				if err != nil {
+					return 0, err
+				}
+				size, err := m.size(net.G)
+				return float64(size), err
+			})
+			if err != nil {
+				return Figure{}, fmt.Errorf("clustering %s d=%d: %w", m.label, d, err)
+			}
+			s.Points = append(s.Points, Point{X: d, Mean: sum.Mean, CI: sum.HalfWidth90, Runs: sum.N})
+		}
+		panel.Series = append(panel.Series, s)
+	}
+	fig.Panels = append(fig.Panels, panel)
+	return fig, nil
+}
+
+// Latency quantifies the timing-policy delay discussion of Section 4.1:
+// static and FR decisions add no end-to-end delay while the backoff
+// policies trade completion time for fewer forward nodes. The series report
+// the mean first-delivery latency across nodes (in transmission slots) per
+// timing policy; X is the network size.
+func Latency(rc RunConfig) (Figure, error) {
+	rc = rc.withDefaults()
+	fig := Figure{
+		ID:    "L1",
+		Title: "Mean first-delivery latency vs timing policy",
+		Unit:  "mean latency (slots)",
+	}
+	timings := []protocol.Timing{
+		protocol.TimingStatic,
+		protocol.TimingFirstReceipt,
+		protocol.TimingBackoffRandom,
+		protocol.TimingBackoffDegree,
+	}
+	for _, d := range rc.Degrees {
+		panel := Panel{Title: fmt.Sprintf("d=%d, 2-hop", d)}
+		for _, timing := range timings {
+			timing := timing
+			s := Series{Label: timing.String()}
+			for _, n := range rc.Sizes {
+				n := n
+				sum, err := stats.RunUntilCI(rc.Replicate, func(i int) (float64, error) {
+					seed := workloadSeed(rc.Seed, n, d, i)
+					rng := rand.New(rand.NewSource(seed))
+					net, err := generateNet(rng, n, d)
+					if err != nil {
+						return 0, err
+					}
+					rec := &sim.Recorder{}
+					res, err := sim.Run(net.G, rng.Intn(n), protocol.Generic(timing), sim.Config{
+						Hops:     2,
+						Seed:     seed + 1,
+						Observer: rec,
+					})
+					if err != nil {
+						return 0, err
+					}
+					if !res.FullDelivery() {
+						return 0, fmt.Errorf("latency: delivered %d/%d", res.Delivered, res.N)
+					}
+					return rec.MeanDeliveryLatency(), nil
+				})
+				if err != nil {
+					return Figure{}, fmt.Errorf("latency %s n=%d: %w", timing, n, err)
+				}
+				s.Points = append(s.Points, Point{X: n, Mean: sum.Mean, CI: sum.HalfWidth90, Runs: sum.N})
+			}
+			panel.Series = append(panel.Series, s)
+		}
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return fig, nil
+}
+
+// ExtensionByID dispatches the extension experiments by name.
+func ExtensionByID(id string, rc RunConfig) (Figure, error) {
+	switch id {
+	case "cluster":
+		return Clustering(rc)
+	case "latency":
+		return Latency(rc)
+	case "mobility":
+		return Mobility(rc)
+	case "reliability":
+		return Reliability(rc)
+	case "piggyback":
+		return PiggybackAblation(rc)
+	case "backoff":
+		return BackoffAblation(rc)
+	case "visitedunion":
+		return VisitedUnionAblation(rc)
+	default:
+		return Figure{}, fmt.Errorf("experiments: unknown extension %q (valid: %v)", id, AllExtensionIDs())
+	}
+}
+
+// AllExtensionIDs lists the extension experiments.
+func AllExtensionIDs() []string {
+	return []string{"mobility", "reliability", "piggyback", "backoff", "visitedunion", "cluster", "latency"}
+}
+
+// generateNet mirrors the workload generation used by measure, for
+// extensions that need the geometry as well as the graph.
+func generateNet(rng *rand.Rand, n, d int) (*geo.Network, error) {
+	return geo.Generate(geo.Config{N: n, AvgDegree: float64(d)}, rng)
+}

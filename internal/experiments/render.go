@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"adhocbcast/internal/protocol"
+)
+
+// Format renders a figure as aligned text tables, one per panel: rows are
+// network sizes, columns are the series, matching the axes of the paper's
+// plots.
+func Format(fig Figure) string {
+	unit := fig.Unit
+	if unit == "" {
+		unit = "mean forward nodes"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", fig.ID, fig.Title)
+	for _, panel := range fig.Panels {
+		fmt.Fprintf(&b, "\n  [%s]  (%s, 90%% CI half-width)\n", panel.Title, unit)
+		fmt.Fprintf(&b, "  %6s", "n")
+		for _, s := range panel.Series {
+			fmt.Fprintf(&b, "  %18s", s.Label)
+		}
+		b.WriteByte('\n')
+		if len(panel.Series) == 0 {
+			continue
+		}
+		for i, pt := range panel.Series[0].Points {
+			fmt.Fprintf(&b, "  %6d", pt.X)
+			for _, s := range panel.Series {
+				p := s.Points[i]
+				cell := fmt.Sprintf("%.2f ±%.2f", p.Mean, p.CI)
+				fmt.Fprintf(&b, "  %18s", cell)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Table1 renders the paper's Table 1: the classification of the simulated
+// existing distributed broadcast algorithms.
+func Table1() string {
+	// The paper's Table 1 covers the seven algorithms of the special-case
+	// comparison (Wu-Li and TDP are discussed but not tabulated).
+	protos := []protocol.Describer{
+		mustDescriber(protocol.RuleK()),
+		mustDescriber(protocol.Span()),
+		mustDescriber(protocol.MPR()),
+		mustDescriber(protocol.LENWB()),
+		mustDescriber(protocol.DP()),
+		mustDescriber(protocol.PDP()),
+		mustDescriber(protocol.SBA()),
+	}
+	type key struct {
+		timing    protocol.Timing
+		selection protocol.Selection
+	}
+	cells := make(map[key][]string)
+	for _, p := range protos {
+		info := p.Describe()
+		k := key{timing: info.Timing, selection: info.Selection}
+		cells[k] = append(cells[k], info.Name)
+	}
+	row := func(t protocol.Timing) (string, string) {
+		sp := strings.Join(cells[key{t, protocol.SelfPruning}], ", ")
+		nd := strings.Join(cells[key{t, protocol.NeighborDesignating}], ", ")
+		if sp == "" {
+			sp = "-"
+		}
+		if nd == "" {
+			nd = "-"
+		}
+		return sp, nd
+	}
+	var b strings.Builder
+	b.WriteString("Table 1: Existing distributed broadcast algorithms compared in the simulation.\n\n")
+	fmt.Fprintf(&b, "  %-28s  %-24s  %-24s\n", "Category", "Self-pruning", "Neighbor-designating")
+	for _, t := range []protocol.Timing{
+		protocol.TimingStatic,
+		protocol.TimingFirstReceipt,
+		protocol.TimingBackoffRandom,
+	} {
+		name := map[protocol.Timing]string{
+			protocol.TimingStatic:        "Static",
+			protocol.TimingFirstReceipt:  "First-receipt",
+			protocol.TimingBackoffRandom: "First-receipt-with-backoff",
+		}[t]
+		sp, nd := row(t)
+		fmt.Fprintf(&b, "  %-28s  %-24s  %-24s\n", name, sp, nd)
+	}
+	return b.String()
+}
+
+func mustDescriber(p any) protocol.Describer {
+	d, ok := p.(protocol.Describer)
+	if !ok {
+		panic(fmt.Sprintf("experiments: protocol %T does not describe itself", p))
+	}
+	return d
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSample(t *testing.T) {
+	s, err := NewSample(100, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Runs); got != 6 {
+		t.Fatalf("runs = %d, want 6 (3 timings x 2 view depths)", got)
+	}
+	labels := map[string]bool{}
+	for _, r := range s.Runs {
+		labels[r.Label] = true
+		if r.Hops != 2 && r.Hops != 3 {
+			t.Fatalf("unexpected hops %d", r.Hops)
+		}
+		if len(r.Forward) == 0 || len(r.Forward) > 100 {
+			t.Fatalf("run %s/%d: %d forward nodes", r.Label, r.Hops, len(r.Forward))
+		}
+	}
+	for _, want := range []string{"static", "FR", "FRB"} {
+		if !labels[want] {
+			t.Fatalf("missing run %q", want)
+		}
+	}
+}
+
+// TestSampleOrderingMatchesFigure9 checks the caption's qualitative claim:
+// for each view depth, static >= FR >= FRB forward counts (allowing small
+// statistical slack on a single network via a couple of seeds).
+func TestSampleOrderingMatchesFigure9(t *testing.T) {
+	okSeeds := 0
+	for seed := int64(1); seed <= 5; seed++ {
+		s, err := NewSample(100, 6, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for _, r := range s.Runs {
+			if r.Hops == 2 {
+				counts[r.Label] = len(r.Forward)
+			}
+		}
+		if counts["static"] >= counts["FR"] && counts["FR"] >= counts["FRB"] {
+			okSeeds++
+		}
+	}
+	// On single networks the ordering can invert by a node or two; it must
+	// hold for the majority of seeds.
+	if okSeeds < 3 {
+		t.Fatalf("static >= FR >= FRB held on only %d of 5 seeds", okSeeds)
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	a, err := NewSample(60, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSample(60, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Source != b.Source {
+		t.Fatal("sources differ")
+	}
+	for i := range a.Runs {
+		if len(a.Runs[i].Forward) != len(b.Runs[i].Forward) {
+			t.Fatalf("run %d forward counts differ", i)
+		}
+	}
+}
+
+func TestSampleRender(t *testing.T) {
+	s, err := NewSample(60, 6, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Render(s.Runs[0], 40, 20)
+	if !strings.Contains(out, "static, 2-hop") {
+		t.Fatalf("render header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "S") {
+		t.Fatal("source marker missing")
+	}
+	if !strings.Contains(out, "#") {
+		t.Fatal("forward markers missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 21 { // header + 20 rows
+		t.Fatalf("rendered %d lines, want 21", len(lines))
+	}
+	for _, line := range lines[1:] {
+		if len(line) != 40 {
+			t.Fatalf("row width %d, want 40", len(line))
+		}
+	}
+}
+
+func TestSampleRenderClampsTinyDimensions(t *testing.T) {
+	s, err := NewSample(30, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Render(s.Runs[0], 1, 1)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 11 { // header + clamped 10 rows
+		t.Fatalf("rendered %d lines, want 11", len(lines))
+	}
+}

@@ -1,0 +1,143 @@
+// Package geo generates the random unit disk graph workloads used in the
+// paper's evaluation: n nodes placed uniformly at random in a restricted
+// 100x100 area, with the transmitter range adjusted so that the resulting
+// unit disk graph has exactly n*d/2 links for a requested average degree d.
+// Networks that are not connected are discarded and regenerated.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"adhocbcast/internal/graph"
+)
+
+// Point is a node position in the deployment area.
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance to q.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Config describes a random network workload.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// AvgDegree is the target average node degree d; the unit disk radius is
+	// chosen so the graph has exactly round(N*d/2) links.
+	AvgDegree float64
+	// Side is the side length of the square deployment area (default 100).
+	Side float64
+	// MaxAttempts bounds the connected-graph rejection sampling
+	// (default 1000).
+	MaxAttempts int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Side <= 0 {
+		c.Side = 100
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 1000
+	}
+	return c
+}
+
+// Validate reports whether the configuration can produce a network at all.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.N < 2 {
+		return fmt.Errorf("geo: need at least 2 nodes, got %d", c.N)
+	}
+	if c.AvgDegree <= 0 {
+		return fmt.Errorf("geo: average degree must be positive, got %g", c.AvgDegree)
+	}
+	if links(c.N, c.AvgDegree) > c.N*(c.N-1)/2 {
+		return fmt.Errorf("geo: average degree %g impossible for %d nodes", c.AvgDegree, c.N)
+	}
+	return nil
+}
+
+// Network is a generated unit disk graph together with its geometry.
+type Network struct {
+	// G is the connectivity graph.
+	G *graph.Graph
+	// Pos holds node positions.
+	Pos []Point
+	// Range is the transmitter range that produced exactly the target number
+	// of links.
+	Range float64
+	// Attempts is the number of placements tried before a connected graph
+	// was found.
+	Attempts int
+}
+
+// Generate draws random placements from rng until the induced unit disk
+// graph is connected, and returns the resulting network.
+func Generate(cfg Config, rng *rand.Rand) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
+		net := place(cfg, rng)
+		if net.G.Connected() {
+			net.Attempts = attempt
+			return net, nil
+		}
+	}
+	return nil, fmt.Errorf("geo: no connected network with n=%d d=%g after %d attempts",
+		cfg.N, cfg.AvgDegree, cfg.MaxAttempts)
+}
+
+// place builds one candidate network: uniform placement plus exact-link-count
+// range adjustment.
+func place(cfg Config, rng *rand.Rand) *Network {
+	n := cfg.N
+	pos := make([]Point, n)
+	for i := range pos {
+		pos[i] = Point{X: rng.Float64() * cfg.Side, Y: rng.Float64() * cfg.Side}
+	}
+
+	type pair struct {
+		d    float64
+		u, v int
+	}
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, pair{d: pos[u].Distance(pos[v]), u: u, v: v})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].d != pairs[j].d {
+			return pairs[i].d < pairs[j].d
+		}
+		if pairs[i].u != pairs[j].u {
+			return pairs[i].u < pairs[j].u
+		}
+		return pairs[i].v < pairs[j].v
+	})
+
+	m := links(n, cfg.AvgDegree)
+	g := graph.New(n)
+	for i := 0; i < m; i++ {
+		// Endpoints are valid by construction; AddEdge cannot fail.
+		_ = g.AddEdge(pairs[i].u, pairs[i].v)
+	}
+	r := 0.0
+	if m > 0 {
+		r = pairs[m-1].d
+	}
+	return &Network{G: g, Pos: pos, Range: r}
+}
+
+// links returns the target link count round(n*d/2).
+func links(n int, d float64) int {
+	return int(math.Round(float64(n) * d / 2))
+}

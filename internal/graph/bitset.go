@@ -1,0 +1,95 @@
+package graph
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers. It backs the
+// hot set operations in the coverage-condition evaluators.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an empty bitset able to hold values in [0, n).
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		n = 0
+	}
+	return &Bitset{
+		words: make([]uint64, (n+63)/64),
+		n:     n,
+	}
+}
+
+// Cap returns the capacity n the bitset was created with.
+func (b *Bitset) Cap() int { return b.n }
+
+// Set adds x to the set. Out-of-range values are ignored.
+func (b *Bitset) Set(x int) {
+	if x < 0 || x >= b.n {
+		return
+	}
+	b.words[x>>6] |= 1 << uint(x&63)
+}
+
+// Clear removes x from the set.
+func (b *Bitset) Clear(x int) {
+	if x < 0 || x >= b.n {
+		return
+	}
+	b.words[x>>6] &^= 1 << uint(x&63)
+}
+
+// Has reports whether x is in the set.
+func (b *Bitset) Has(x int) bool {
+	if x < 0 || x >= b.n {
+		return false
+	}
+	return b.words[x>>6]&(1<<uint(x&63)) != 0
+}
+
+// Reset removes every element.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Union sets b to b ∪ other. Both bitsets must have the same capacity.
+func (b *Bitset) Union(other *Bitset) {
+	for i, w := range other.words {
+		b.words[i] |= w
+	}
+}
+
+// Intersects reports whether b ∩ other is non-empty.
+func (b *Bitset) Intersects(other *Bitset) bool {
+	for i, w := range other.words {
+		if b.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of elements in the set.
+func (b *Bitset) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Elements appends the members of the set to dst in ascending order and
+// returns the extended slice.
+func (b *Bitset) Elements(dst []int) []int {
+	for i, w := range b.words {
+		base := i << 6
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			dst = append(dst, base+bit)
+			w &= w - 1
+		}
+	}
+	return dst
+}

@@ -1,0 +1,141 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := NewBitset(130)
+	if b.Cap() != 130 {
+		t.Fatalf("Cap() = %d, want 130", b.Cap())
+	}
+	for _, x := range []int{0, 63, 64, 129} {
+		b.Set(x)
+		if !b.Has(x) {
+			t.Fatalf("Has(%d) = false after Set", x)
+		}
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count() = %d, want 4", b.Count())
+	}
+	b.Clear(64)
+	if b.Has(64) {
+		t.Fatal("Has(64) after Clear")
+	}
+	if got := b.Elements(nil); !equalInts(got, []int{0, 63, 129}) {
+		t.Fatalf("Elements() = %v", got)
+	}
+	b.Reset()
+	if b.Count() != 0 {
+		t.Fatalf("Count() = %d after Reset", b.Count())
+	}
+}
+
+func TestBitsetOutOfRange(t *testing.T) {
+	b := NewBitset(10)
+	b.Set(-1)
+	b.Set(10)
+	b.Set(1000)
+	if b.Count() != 0 {
+		t.Fatalf("out-of-range Set changed the set: %v", b.Elements(nil))
+	}
+	if b.Has(-1) || b.Has(10) {
+		t.Fatal("Has out of range returned true")
+	}
+	b.Clear(99) // must not panic
+}
+
+func TestBitsetUnionIntersects(t *testing.T) {
+	a := NewBitset(100)
+	b := NewBitset(100)
+	a.Set(5)
+	a.Set(70)
+	b.Set(71)
+	if a.Intersects(b) {
+		t.Fatal("disjoint sets reported intersecting")
+	}
+	b.Set(70)
+	if !a.Intersects(b) {
+		t.Fatal("intersecting sets reported disjoint")
+	}
+	a.Union(b)
+	if got := a.Elements(nil); !equalInts(got, []int{5, 70, 71}) {
+		t.Fatalf("union elements = %v", got)
+	}
+}
+
+func TestBitsetZeroCapacity(t *testing.T) {
+	b := NewBitset(0)
+	b.Set(0)
+	if b.Count() != 0 {
+		t.Fatal("zero-capacity bitset accepted an element")
+	}
+	if NewBitset(-5).Cap() != 0 {
+		t.Fatal("negative capacity not clamped")
+	}
+}
+
+// TestBitsetQuick property-checks the bitset against a map-based model.
+func TestBitsetQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(200)
+		b := NewBitset(n)
+		model := make(map[int]bool)
+		for op := 0; op < 300; op++ {
+			x := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				b.Set(x)
+				model[x] = true
+			case 1:
+				b.Clear(x)
+				delete(model, x)
+			default:
+				if b.Has(x) != model[x] {
+					return false
+				}
+			}
+		}
+		if b.Count() != len(model) {
+			return false
+		}
+		for _, x := range b.Elements(nil) {
+			if !model[x] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConfig(50)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBitsetElementsSortedQuick checks Elements always returns ascending
+// order and honors the dst-append contract.
+func TestBitsetElementsSortedQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBitset(500)
+		for i := 0; i < 80; i++ {
+			b.Set(rng.Intn(500))
+		}
+		prefix := []int{-7}
+		out := b.Elements(prefix)
+		if out[0] != -7 {
+			return false
+		}
+		for i := 2; i < len(out); i++ {
+			if out[i] <= out[i-1] {
+				return false
+			}
+		}
+		return len(out) == 1+b.Count()
+	}
+	if err := quick.Check(f, quickConfig(50)); err != nil {
+		t.Fatal(err)
+	}
+}

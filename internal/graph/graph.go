@@ -1,0 +1,155 @@
+// Package graph provides the undirected-graph substrate used throughout the
+// broadcast framework: adjacency-set graphs, traversal, connectivity,
+// connected components, k-hop neighborhoods and the k-hop local-view
+// subgraphs of Definition 2 in the paper.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..N()-1.
+//
+// Neighbor lists are kept sorted in ascending vertex order, which makes all
+// traversal deterministic. The zero value is not usable; construct with New.
+type Graph struct {
+	n   int
+	adj [][]int
+	m   int // number of edges
+}
+
+// New returns an empty graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	return &Graph{
+		n:   n,
+		adj: make([][]int, n),
+	}
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		n:   g.n,
+		adj: make([][]int, g.n),
+		m:   g.m,
+	}
+	for v, nbrs := range g.adj {
+		c.adj[v] = append([]int(nil), nbrs...)
+	}
+	return c
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns a copy of v's neighbor list in ascending order.
+func (g *Graph) Neighbors(v int) []int {
+	return append([]int(nil), g.adj[v]...)
+}
+
+// ForEachNeighbor calls fn for every neighbor of v in ascending order. It
+// avoids the copy made by Neighbors and is intended for hot paths.
+func (g *Graph) ForEachNeighbor(v int, fn func(u int)) {
+	for _, u := range g.adj[v] {
+		fn(u)
+	}
+}
+
+// HasEdge reports whether the edge {u, v} is present.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n || u == v {
+		return false
+	}
+	if len(g.adj[v]) < len(g.adj[u]) {
+		u, v = v, u
+	}
+	a := g.adj[u]
+	i := sort.SearchInts(a, v)
+	return i < len(a) && a[i] == v
+}
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and out-of-range
+// vertices are rejected; adding an existing edge is a no-op.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		return fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graph: self-loop at %d", u)
+	}
+	if g.hasEdgeFast(u, v) {
+		return nil
+	}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.adj[v] = insertSorted(g.adj[v], u)
+	g.m++
+	return nil
+}
+
+// RemoveEdge deletes the undirected edge {u, v} if present.
+func (g *Graph) RemoveEdge(u, v int) {
+	if !g.HasEdge(u, v) {
+		return
+	}
+	g.adj[u] = removeSorted(g.adj[u], v)
+	g.adj[v] = removeSorted(g.adj[v], u)
+	g.m--
+}
+
+// Edges returns every edge {u, v} with u < v, ordered lexicographically.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// AverageDegree returns 2*M/N, or 0 for the empty graph.
+func (g *Graph) AverageDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.n)
+}
+
+// IsComplete reports whether every pair of vertices is adjacent.
+func (g *Graph) IsComplete() bool {
+	return g.m == g.n*(g.n-1)/2
+}
+
+func (g *Graph) hasEdgeFast(u, v int) bool {
+	a := g.adj[u]
+	i := sort.SearchInts(a, v)
+	return i < len(a) && a[i] == v
+}
+
+func insertSorted(a []int, x int) []int {
+	i := sort.SearchInts(a, x)
+	a = append(a, 0)
+	copy(a[i+1:], a[i:])
+	a[i] = x
+	return a
+}
+
+func removeSorted(a []int, x int) []int {
+	i := sort.SearchInts(a, x)
+	if i < len(a) && a[i] == x {
+		return append(a[:i], a[i+1:]...)
+	}
+	return a
+}

@@ -1,0 +1,282 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGraphEmpty(t *testing.T) {
+	g := New(5)
+	if got := g.N(); got != 5 {
+		t.Fatalf("N() = %d, want 5", got)
+	}
+	if got := g.M(); got != 0 {
+		t.Fatalf("M() = %d, want 0", got)
+	}
+	for v := 0; v < 5; v++ {
+		if got := g.Degree(v); got != 0 {
+			t.Fatalf("Degree(%d) = %d, want 0", v, got)
+		}
+	}
+}
+
+func TestNewGraphNegative(t *testing.T) {
+	g := New(-3)
+	if got := g.N(); got != 0 {
+		t.Fatalf("N() = %d, want 0", got)
+	}
+}
+
+func TestAddEdge(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 2); err != nil {
+		t.Fatalf("AddEdge(0,2): %v", err)
+	}
+	if !g.HasEdge(0, 2) || !g.HasEdge(2, 0) {
+		t.Fatal("edge {0,2} not symmetric")
+	}
+	if g.HasEdge(0, 1) {
+		t.Fatal("unexpected edge {0,1}")
+	}
+	if got := g.M(); got != 1 {
+		t.Fatalf("M() = %d, want 1", got)
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New(3)
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(1, 2); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	if got := g.M(); got != 1 {
+		t.Fatalf("M() = %d after duplicate adds, want 1", got)
+	}
+	if got := g.Degree(1); got != 1 {
+		t.Fatalf("Degree(1) = %d, want 1", got)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	tests := []struct {
+		name string
+		u, v int
+	}{
+		{name: "self-loop", u: 1, v: 1},
+		{name: "negative", u: -1, v: 0},
+		{name: "out of range", u: 0, v: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := g.AddEdge(tt.u, tt.v); err == nil {
+				t.Fatalf("AddEdge(%d,%d) succeeded, want error", tt.u, tt.v)
+			}
+		})
+	}
+	if g.M() != 0 {
+		t.Fatalf("M() = %d after failed adds, want 0", g.M())
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	g.RemoveEdge(0, 1)
+	if g.HasEdge(0, 1) {
+		t.Fatal("edge {0,1} still present after removal")
+	}
+	if !g.HasEdge(1, 2) {
+		t.Fatal("edge {1,2} removed by mistake")
+	}
+	if got := g.M(); got != 1 {
+		t.Fatalf("M() = %d, want 1", got)
+	}
+	g.RemoveEdge(0, 1) // removing a missing edge is a no-op
+	if got := g.M(); got != 1 {
+		t.Fatalf("M() = %d after double removal, want 1", got)
+	}
+}
+
+func TestNeighborsSortedAndCopied(t *testing.T) {
+	g := New(5)
+	mustEdge(t, g, 3, 1)
+	mustEdge(t, g, 3, 4)
+	mustEdge(t, g, 3, 0)
+	nbrs := g.Neighbors(3)
+	want := []int{0, 1, 4}
+	if !equalInts(nbrs, want) {
+		t.Fatalf("Neighbors(3) = %v, want %v", nbrs, want)
+	}
+	nbrs[0] = 99 // mutating the copy must not corrupt the graph
+	if !equalInts(g.Neighbors(3), want) {
+		t.Fatal("Neighbors returned internal storage")
+	}
+}
+
+func TestForEachNeighborOrder(t *testing.T) {
+	g := New(6)
+	for _, v := range []int{5, 2, 4, 1} {
+		mustEdge(t, g, 0, v)
+	}
+	var got []int
+	g.ForEachNeighbor(0, func(u int) { got = append(got, u) })
+	if !equalInts(got, []int{1, 2, 4, 5}) {
+		t.Fatalf("ForEachNeighbor order = %v", got)
+	}
+}
+
+func TestEdges(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 2, 1)
+	mustEdge(t, g, 0, 3)
+	edges := g.Edges()
+	want := [][2]int{{0, 3}, {1, 2}}
+	if len(edges) != len(want) {
+		t.Fatalf("Edges() = %v, want %v", edges, want)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("Edges() = %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	mustEdge(t, g, 0, 1)
+	c := g.Clone()
+	mustEdge(t, c, 1, 2)
+	if g.HasEdge(1, 2) {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if !c.HasEdge(0, 1) {
+		t.Fatal("clone lost an edge")
+	}
+	if g.M() != 1 || c.M() != 2 {
+		t.Fatalf("edge counts: g=%d c=%d, want 1 and 2", g.M(), c.M())
+	}
+}
+
+func TestAverageDegree(t *testing.T) {
+	g := New(4)
+	if got := g.AverageDegree(); got != 0 {
+		t.Fatalf("AverageDegree() = %v, want 0", got)
+	}
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 2, 3)
+	if got := g.AverageDegree(); got != 1 {
+		t.Fatalf("AverageDegree() = %v, want 1", got)
+	}
+	if New(0).AverageDegree() != 0 {
+		t.Fatal("AverageDegree of empty graph should be 0")
+	}
+}
+
+func TestIsComplete(t *testing.T) {
+	g := New(3)
+	if g.IsComplete() {
+		t.Fatal("empty 3-graph reported complete")
+	}
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 1, 2)
+	if !g.IsComplete() {
+		t.Fatal("triangle not reported complete")
+	}
+	if !New(1).IsComplete() {
+		t.Fatal("single vertex should be complete")
+	}
+}
+
+// TestHasEdgeQuick property-checks HasEdge symmetry and consistency with the
+// edge list on random graphs.
+func TestHasEdgeQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := randomGraph(rng, n, 0.3)
+		present := make(map[[2]int]bool)
+		for _, e := range g.Edges() {
+			present[e] = true
+		}
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				want := present[[2]int{min(u, v), max(u, v)}] && u != v
+				if g.HasEdge(u, v) != want {
+					return false
+				}
+				if g.HasEdge(u, v) != g.HasEdge(v, u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickConfig(50)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDegreeSumQuick property-checks the handshake lemma: degrees sum to 2M.
+func TestDegreeSumQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		g := randomGraph(rng, n, 0.25)
+		sum := 0
+		for v := 0; v < n; v++ {
+			sum += g.Degree(v)
+		}
+		return sum == 2*g.M()
+	}
+	if err := quick.Check(f, quickConfig(100)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- shared test helpers ---
+
+func mustEdge(t *testing.T, g *Graph, u, v int) {
+	t.Helper()
+	if err := g.AddEdge(u, v); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", u, v, err)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randomGraph builds an Erdős–Rényi style graph with edge probability p.
+func randomGraph(rng *rand.Rand, n int, p float64) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				if err := g.AddEdge(u, v); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func quickConfig(iters int) *quick.Config {
+	return &quick.Config{
+		MaxCount: iters,
+		Rand:     rand.New(rand.NewSource(1)),
+	}
+}

@@ -1,0 +1,24 @@
+package hello_test
+
+import (
+	"fmt"
+
+	"adhocbcast/internal/graph"
+	"adhocbcast/internal/hello"
+)
+
+// Two hello rounds give a node exactly the 2-hop information of
+// Definition 2: its own links plus its neighbors' links.
+func ExampleProtocol() {
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	p := hello.New(g)
+	p.RunRounds(2)
+	fmt.Println(p.KnownLinks(0))
+	// Output:
+	// [[0 1] [1 2]]
+}

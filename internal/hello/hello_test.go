@@ -1,0 +1,164 @@
+package hello
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adhocbcast/internal/geo"
+	"adhocbcast/internal/graph"
+)
+
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestZeroRoundsKnowsNothing(t *testing.T) {
+	g := pathGraph(t, 4)
+	p := New(g)
+	if p.Rounds() != 0 {
+		t.Fatalf("rounds = %d", p.Rounds())
+	}
+	if links := p.KnownLinks(1); len(links) != 0 {
+		t.Fatalf("fresh node knows links %v", links)
+	}
+	_, known := p.ViewGraph(1)
+	for v, k := range known {
+		if k != (v == 1) {
+			t.Fatalf("known[%d] = %v before any round", v, k)
+		}
+	}
+}
+
+func TestOneRoundLearnsStar(t *testing.T) {
+	// After one round a node knows exactly its incident links — the G1(v)
+	// of Definition 2 (neighbor-to-neighbor links stay invisible).
+	g := graph.New(3)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := New(g)
+	p.Round()
+	links := p.KnownLinks(0)
+	want := [][2]int{{0, 1}, {0, 2}}
+	if len(links) != len(want) {
+		t.Fatalf("links = %v, want %v", links, want)
+	}
+	for i := range want {
+		if links[i] != want[i] {
+			t.Fatalf("links = %v, want %v", links, want)
+		}
+	}
+}
+
+func TestTwoRoundsLearnNeighborLinks(t *testing.T) {
+	g := graph.New(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := New(g)
+	p.RunRounds(2)
+	vg, known := p.ViewGraph(0)
+	if !vg.HasEdge(1, 2) {
+		t.Fatal("round 2 should reveal the neighbor's link {1,2}")
+	}
+	if vg.HasEdge(2, 3) {
+		t.Fatal("link {2,3} is 2 hops out and needs a third round")
+	}
+	if !known[2] || known[3] {
+		t.Fatalf("known = %v", known)
+	}
+}
+
+// TestKRoundsEqualDefinition2Quick is the key property: after k rounds the
+// protocol's assembled view equals the analytic Gk(v) of Definition 2
+// (graph.LocalView) at every node — same visible set, same edge set.
+func TestKRoundsEqualDefinition2Quick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		net, err := geo.Generate(geo.Config{N: 25, AvgDegree: 5}, rng)
+		if err != nil {
+			return true // no connected placement; skip
+		}
+		g := net.G
+		p := New(g)
+		for k := 1; k <= 4; k++ {
+			p.Round()
+			for v := 0; v < g.N(); v++ {
+				wantG, wantVis := g.LocalView(v, k)
+				gotG, gotKnown := p.ViewGraph(v)
+				for u := 0; u < g.N(); u++ {
+					if gotKnown[u] != wantVis[u] {
+						return false
+					}
+				}
+				if gotG.M() != wantG.M() {
+					return false
+				}
+				for _, e := range wantG.Edges() {
+					if !gotG.HasEdge(e[0], e[1]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(12))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvergence(t *testing.T) {
+	// On a diameter-D graph, D+1 rounds reach the full topology at every
+	// node, and further rounds change nothing.
+	g := pathGraph(t, 6) // diameter 5
+	p := New(g)
+	p.RunRounds(6)
+	for v := 0; v < 6; v++ {
+		vg, _ := p.ViewGraph(v)
+		if vg.M() != g.M() {
+			t.Fatalf("node %d knows %d links, want %d", v, vg.M(), g.M())
+		}
+	}
+	before := len(p.KnownLinks(0))
+	p.Round()
+	if len(p.KnownLinks(0)) != before {
+		t.Fatal("converged knowledge kept growing")
+	}
+	if p.Rounds() != 7 {
+		t.Fatalf("rounds = %d", p.Rounds())
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	p := New(graph.New(0))
+	p.Round() // must not panic
+	if p.Rounds() != 0 {
+		t.Fatalf("rounds on empty graph = %d", p.Rounds())
+	}
+}
+
+func TestIsolatedNodeLearnsNothing(t *testing.T) {
+	g := graph.New(3)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	p := New(g)
+	p.RunRounds(5)
+	if links := p.KnownLinks(2); len(links) != 0 {
+		t.Fatalf("isolated node learned %v", links)
+	}
+}

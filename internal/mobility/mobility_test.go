@@ -1,0 +1,141 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+
+	"adhocbcast/internal/geo"
+)
+
+func genNet(t *testing.T, seed int64) *geo.Network {
+	t.Helper()
+	net, err := geo.Generate(geo.Config{N: 50, AvgDegree: 8}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestPerturbedZeroStepKeepsTopology(t *testing.T) {
+	net := genNet(t, 1)
+	moved := Perturbed(net, 100, 0, rand.New(rand.NewSource(2)))
+	if moved.G.M() != net.G.M() {
+		t.Fatalf("zero-step perturbation changed links: %d vs %d", moved.G.M(), net.G.M())
+	}
+	for _, e := range net.G.Edges() {
+		if !moved.G.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost under zero movement", e)
+		}
+	}
+	for i := range net.Pos {
+		if net.Pos[i] != moved.Pos[i] {
+			t.Fatalf("position %d moved", i)
+		}
+	}
+}
+
+func TestPerturbedStaysInArea(t *testing.T) {
+	net := genNet(t, 3)
+	moved := Perturbed(net, 100, 500, rand.New(rand.NewSource(4)))
+	for i, p := range moved.Pos {
+		if p.X < 0 || p.X > 100 || p.Y < 0 || p.Y > 100 {
+			t.Fatalf("node %d escaped the area: %v", i, p)
+		}
+	}
+}
+
+func TestPerturbedMovesNodesAndChangesLinks(t *testing.T) {
+	net := genNet(t, 5)
+	moved := Perturbed(net, 100, 10, rand.New(rand.NewSource(6)))
+	movedCount := 0
+	for i := range net.Pos {
+		if net.Pos[i].Distance(moved.Pos[i]) > 1e-9 {
+			movedCount++
+		}
+		if net.Pos[i].Distance(moved.Pos[i]) > 10+1e-9 {
+			t.Fatalf("node %d moved %v > maxStep", i, net.Pos[i].Distance(moved.Pos[i]))
+		}
+	}
+	if movedCount < 45 {
+		t.Fatalf("only %d of 50 nodes moved", movedCount)
+	}
+	// The link structure should differ with high probability at step 10.
+	same := true
+	if net.G.M() != moved.G.M() {
+		same = false
+	} else {
+		for _, e := range net.G.Edges() {
+			if !moved.G.HasEdge(e[0], e[1]) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("topology unchanged after significant movement")
+	}
+	if moved.Range != net.Range {
+		t.Fatal("radio range changed")
+	}
+}
+
+func TestPerturbedLinkGeometry(t *testing.T) {
+	net := genNet(t, 7)
+	moved := Perturbed(net, 100, 5, rand.New(rand.NewSource(8)))
+	for u := 0; u < len(moved.Pos); u++ {
+		for v := u + 1; v < len(moved.Pos); v++ {
+			d := moved.Pos[u].Distance(moved.Pos[v])
+			if moved.G.HasEdge(u, v) != (d <= moved.Range) {
+				t.Fatalf("link {%d,%d} inconsistent with distance %v vs range %v",
+					u, v, d, moved.Range)
+			}
+		}
+	}
+}
+
+func TestWalkerStepAndBounce(t *testing.T) {
+	net := genNet(t, 9)
+	w := NewWalker(net, 100, 5, rand.New(rand.NewSource(10)))
+	for step := 0; step < 200; step++ {
+		w.Step(1)
+		snap := w.Snapshot()
+		for i, p := range snap.Pos {
+			if p.X < -1e-9 || p.X > 100+1e-9 || p.Y < -1e-9 || p.Y > 100+1e-9 {
+				t.Fatalf("step %d: node %d out of area at %v", step, i, p)
+			}
+		}
+	}
+}
+
+func TestWalkerMovesAtSpeed(t *testing.T) {
+	net := genNet(t, 11)
+	w := NewWalker(net, 100, 3, rand.New(rand.NewSource(12)))
+	before := w.Snapshot().Pos
+	w.Step(1)
+	after := w.Snapshot().Pos
+	for i := range before {
+		d := before[i].Distance(after[i])
+		// Reflections can shorten the net displacement but never lengthen
+		// it beyond speed*dt.
+		if d > 3+1e-9 {
+			t.Fatalf("node %d moved %v in one step at speed 3", i, d)
+		}
+	}
+}
+
+func TestWalkerSnapshotIsolated(t *testing.T) {
+	net := genNet(t, 13)
+	w := NewWalker(net, 100, 2, rand.New(rand.NewSource(14)))
+	snap := w.Snapshot()
+	w.Step(1)
+	snap2 := w.Snapshot()
+	moved := false
+	for i := range snap.Pos {
+		if snap.Pos[i] != snap2.Pos[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("snapshots share storage or walker did not move")
+	}
+}

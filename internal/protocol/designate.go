@@ -1,0 +1,253 @@
+package protocol
+
+import (
+	"adhocbcast/internal/sim"
+	"adhocbcast/internal/view"
+)
+
+// GreedyCover selects forward neighbors from candidates xs to cover the
+// target set ys, using the greedy set-cover heuristic shared by DP, PDP, TDP
+// and MPR: repeatedly pick the candidate with the maximum effective degree
+// (number of still-uncovered targets adjacent to it), breaking ties by the
+// lowest id, until the targets are covered or no candidate helps.
+func GreedyCover(lv *view.Local, xs, ys []int) []int {
+	n := lv.G.N()
+	remaining := make([]bool, n)
+	left := 0
+	for _, y := range ys {
+		if !remaining[y] {
+			remaining[y] = true
+			left++
+		}
+	}
+	cands := append([]int(nil), xs...)
+	var selected []int
+	for left > 0 {
+		best, bestCount := -1, 0
+		for i, w := range cands {
+			if w < 0 {
+				continue
+			}
+			count := 0
+			lv.G.ForEachNeighbor(w, func(y int) {
+				if remaining[y] {
+					count++
+				}
+			})
+			if count > bestCount || (count == bestCount && count > 0 && w < cands[best]) {
+				best, bestCount = i, count
+			}
+		}
+		if best < 0 {
+			break // leftover targets are another forwarder's responsibility
+		}
+		w := cands[best]
+		cands[best] = -1
+		selected = append(selected, w)
+		lv.G.ForEachNeighbor(w, func(y int) {
+			if remaining[y] {
+				remaining[y] = false
+				left--
+			}
+		})
+	}
+	return selected
+}
+
+// dpVariant distinguishes the three dominant-pruning target reductions.
+type dpVariant int
+
+const (
+	variantDP dpVariant = iota + 1
+	variantPDP
+	variantTDP
+)
+
+// dpDesignate builds the DP/PDP/TDP designated forward set for the node in
+// st (Section 6.3): candidates X = N(v) - N(u) and targets
+// Y = N2(v) - N(u) - N(v), where u is the node v received its first copy
+// from; PDP further removes the neighborhoods of the common neighbors of u
+// and v, and TDP removes the piggybacked 2-hop neighborhood of u.
+func dpDesignate(variant dpVariant) DesignateFunc {
+	return func(net *sim.Network, st *sim.NodeState) []int {
+		lv := st.View
+		v := st.ID
+		u := st.FirstFrom
+
+		n := lv.G.N()
+		excluded := make([]bool, n)
+		excluded[v] = true
+		if u >= 0 {
+			excluded[u] = true
+			lv.G.ForEachNeighbor(u, func(x int) {
+				excluded[x] = true
+			})
+		}
+		if variant == variantPDP && u >= 0 {
+			// Remove neighbors of the common neighbors of u and v.
+			lv.G.ForEachNeighbor(u, func(w int) {
+				if !lv.G.HasEdge(v, w) {
+					return
+				}
+				lv.G.ForEachNeighbor(w, func(x int) {
+					excluded[x] = true
+				})
+			})
+		}
+		if variant == variantTDP {
+			// Remove the piggybacked N2(u).
+			for _, x := range st.FirstPacket.Extra {
+				if x >= 0 && x < n {
+					excluded[x] = true
+				}
+			}
+		}
+
+		var xs []int
+		lv.G.ForEachNeighbor(v, func(w int) {
+			if u < 0 || (w != u && !lv.G.HasEdge(u, w)) {
+				xs = append(xs, w)
+			}
+		})
+		var ys []int
+		for _, y := range lv.TwoHopTargets() {
+			if !excluded[y] {
+				ys = append(ys, y)
+			}
+		}
+		return GreedyCover(lv, xs, ys)
+	}
+}
+
+// NDDesignate builds the designated forward set of the generic
+// neighbor-designating scheme ("ND" in Figure 11): a greedy cover of the
+// 2-hop neighbors not already covered by any node known to be visited or
+// designated, selected from the neighbors that are not known visited. Unlike
+// plain DP it exploits the full broadcast state of the local view, which is
+// what the generic framework's Step 5 prescribes.
+func NDDesignate(net *sim.Network, st *sim.NodeState) []int {
+	lv := st.View
+	v := st.ID
+	n := lv.G.N()
+	covered := make([]bool, n)
+	for x := 0; x < n; x++ {
+		if x != v && lv.Visible[x] && lv.Pr[x].Status >= view.Designated {
+			covered[x] = true
+			lv.G.ForEachNeighbor(x, func(y int) {
+				covered[y] = true
+			})
+		}
+	}
+	var ys []int
+	for _, y := range lv.TwoHopTargets() {
+		if !covered[y] {
+			ys = append(ys, y)
+		}
+	}
+	var xs []int
+	lv.G.ForEachNeighbor(v, func(w int) {
+		if !lv.IsVisited(w) {
+			xs = append(xs, w)
+		}
+	})
+	return GreedyCover(lv, xs, ys)
+}
+
+// twoHopExtra piggybacks the forwarding node's 2-hop neighborhood N2(v)
+// (TDP's payload).
+func twoHopExtra(_ *sim.Network, st *sim.NodeState) []int {
+	lv := st.View
+	out := []int{st.ID}
+	out = append(out, lv.Neighbors()...)
+	out = append(out, lv.TwoHopTargets()...)
+	return out
+}
+
+// HybridDesignate selects at most one designated forward neighbor for the
+// hybrid schemes of Section 6.4: a neighbor outside {u} ∪ D(u) that covers
+// at least one still-uncovered 2-hop neighbor, picked by maximum effective
+// degree (MaxDeg, ties by lowest id) or by lowest id (MinPri).
+func HybridDesignate(maxDeg bool) DesignateFunc {
+	return func(net *sim.Network, st *sim.NodeState) []int {
+		lv := st.View
+		v := st.ID
+		u := st.FirstFrom
+		fromD := st.FirstPacket.SenderDesignated()
+
+		n := lv.G.N()
+		covered := make([]bool, n)
+		markCovered := func(x int) {
+			covered[x] = true
+			lv.G.ForEachNeighbor(x, func(y int) {
+				covered[y] = true
+			})
+		}
+		if u >= 0 {
+			markCovered(u)
+		}
+		for _, d := range fromD {
+			if d >= 0 && d < n {
+				markCovered(d)
+			}
+		}
+		// Nodes already known to be visited or designated cover their own
+		// neighborhoods; without this the designate-one chain never damps
+		// out and the strict rule forces nearly every node to forward.
+		for x := 0; x < n; x++ {
+			if lv.Visible[x] && lv.Pr[x].Status >= view.Designated {
+				markCovered(x)
+			}
+		}
+
+		var uncovered []int
+		for _, y := range lv.TwoHopTargets() {
+			if !covered[y] {
+				uncovered = append(uncovered, y)
+			}
+		}
+		if len(uncovered) == 0 {
+			return nil
+		}
+		inUncovered := make([]bool, n)
+		for _, y := range uncovered {
+			inUncovered[y] = true
+		}
+
+		skip := make(map[int]bool, len(fromD)+1)
+		if u >= 0 {
+			skip[u] = true
+		}
+		for _, d := range fromD {
+			skip[d] = true
+		}
+
+		best, bestCount := -1, 0
+		lv.G.ForEachNeighbor(v, func(w int) {
+			if skip[w] || lv.IsVisited(w) {
+				return
+			}
+			count := 0
+			lv.G.ForEachNeighbor(w, func(y int) {
+				if inUncovered[y] {
+					count++
+				}
+			})
+			if count == 0 {
+				return
+			}
+			if best < 0 {
+				best, bestCount = w, count
+				return
+			}
+			if maxDeg && count > bestCount {
+				best, bestCount = w, count
+			}
+			// MinPri: neighbors are iterated in ascending id order, so the
+			// first eligible candidate already has the lowest id.
+		})
+		if best < 0 {
+			return nil
+		}
+		return []int{best}
+	}
+}

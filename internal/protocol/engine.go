@@ -1,0 +1,167 @@
+package protocol
+
+import "adhocbcast/internal/sim"
+
+// Options configures one instance of the generic protocol engine.
+type Options struct {
+	// Name is the display name.
+	Name string
+	// Timing selects the decision timing policy.
+	Timing Timing
+	// Selection classifies the protocol for reporting.
+	Selection Selection
+	// Covered is the coverage condition; nil means never covered (pure
+	// flooding behavior for self-pruning protocols).
+	Covered CondFunc
+	// SelfPrune enables self decisions. When false the node forwards only
+	// if designated.
+	SelfPrune bool
+	// Designate selects designated forward neighbors at forwarding time.
+	Designate DesignateFunc
+	// StrictDesignation forces every designated node to forward regardless
+	// of its own coverage condition (the strict rule used in Figure 11).
+	StrictDesignation bool
+	// Extra builds an optional packet payload at forwarding time.
+	Extra ExtraFunc
+}
+
+// engine implements Algorithm 1 parameterized by Options.
+type engine struct {
+	opts   Options
+	status []bool // static forward status (TimingStatic only)
+}
+
+var (
+	_ sim.Protocol = (*engine)(nil)
+	_ Describer    = (*engine)(nil)
+)
+
+// New builds a protocol from explicit engine options. Most callers should
+// prefer the named constructors (Generic, DP, SBA, ...).
+func New(opts Options) sim.Protocol {
+	return &engine{opts: opts}
+}
+
+func (e *engine) Name() string { return e.opts.Name }
+
+func (e *engine) Describe() Info {
+	return Info{
+		Name:      e.opts.Name,
+		Timing:    e.opts.Timing,
+		Selection: e.opts.Selection,
+	}
+}
+
+func (e *engine) Init(net *sim.Network) {
+	if e.opts.Timing != TimingStatic {
+		return
+	}
+	// Static protocols decide every status proactively on the pristine
+	// views (topology only, no broadcast state).
+	n := net.G.N()
+	e.status = make([]bool, n)
+	for v := 0; v < n; v++ {
+		e.status[v] = e.opts.Covered == nil || !e.opts.Covered(net, net.State(v))
+	}
+}
+
+func (e *engine) Start(net *sim.Network, source int) {
+	// The source node always forwards the packet.
+	e.forward(net, source)
+}
+
+func (e *engine) OnReceive(net *sim.Network, v int, r Receipt) {
+	st := net.State(v)
+	if st.Sent {
+		return
+	}
+	first := len(st.Receipts) == 1
+
+	if e.opts.Timing == TimingStatic {
+		if first && e.status[v] {
+			e.forward(net, v)
+		} else if first {
+			net.MarkNonForward(v)
+		}
+		return
+	}
+
+	// The strict rule: a designated node forwards no matter what, even if
+	// it had already taken non-forward status but has not yet transmitted.
+	if e.opts.StrictDesignation && st.Designated() {
+		e.forward(net, v)
+		return
+	}
+
+	if !e.opts.SelfPrune {
+		// Pure neighbor-designating without the strict rule: a designated
+		// node may still decline if its coverage condition holds.
+		if st.Designated() {
+			if e.opts.Covered != nil && e.opts.Covered(net, st) {
+				net.MarkNonForward(v)
+				return
+			}
+			e.forward(net, v)
+		}
+		return
+	}
+
+	if first {
+		net.SetTimer(v, e.delay(net, v))
+		return
+	}
+	// Relaxed designation with self-pruning: a designation can arrive after
+	// the node already took non-forward status at its un-designated
+	// priority. Neighbors now rely on it at the raised 1.5 priority, so it
+	// must re-evaluate there and forward unless still covered.
+	if e.opts.Designate != nil && st.NonForward && st.Designated() {
+		if e.opts.Covered == nil || !e.opts.Covered(net, st) {
+			e.forward(net, v)
+		}
+	}
+}
+
+func (e *engine) OnTimer(net *sim.Network, v int) {
+	st := net.State(v)
+	if st.Sent || st.NonForward {
+		return
+	}
+	if e.opts.StrictDesignation && st.Designated() {
+		e.forward(net, v)
+		return
+	}
+	if e.opts.Covered != nil && e.opts.Covered(net, st) {
+		net.MarkNonForward(v)
+		return
+	}
+	e.forward(net, v)
+}
+
+func (e *engine) delay(net *sim.Network, v int) float64 {
+	switch e.opts.Timing {
+	case TimingBackoffRandom:
+		return net.RandomBackoff()
+	case TimingBackoffDegree:
+		return net.DegreeBackoff(v)
+	default:
+		return 0
+	}
+}
+
+func (e *engine) forward(net *sim.Network, v int) {
+	st := net.State(v)
+	if st.Sent {
+		return
+	}
+	var designated, extra []int
+	if e.opts.Designate != nil {
+		designated = e.opts.Designate(net, st)
+	}
+	if e.opts.Extra != nil {
+		extra = e.opts.Extra(net, st)
+	}
+	net.TransmitExtra(v, designated, extra)
+}
+
+// Receipt aliases the simulator receipt type for protocol callbacks.
+type Receipt = sim.Receipt

@@ -1,0 +1,100 @@
+package protocol_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"adhocbcast/internal/geo"
+	"adhocbcast/internal/protocol"
+	"adhocbcast/internal/sim"
+	"adhocbcast/internal/view"
+)
+
+// meanForward averages the forward count of a protocol over several
+// broadcasts on shared workloads.
+func meanForward(t *testing.T, mk func() sim.Protocol, cfg sim.Config, runs int) float64 {
+	t.Helper()
+	total := 0
+	for i := 0; i < runs; i++ {
+		rng := rand.New(rand.NewSource(int64(1000 + i)))
+		net, err := geo.Generate(geo.Config{N: 80, AvgDegree: 8}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := cfg
+		cfg.Seed = int64(i + 1)
+		res, err := sim.Run(net.G, rng.Intn(80), mk(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.FullDelivery() {
+			t.Fatalf("run %d: delivered %d/%d", i, res.Delivered, res.N)
+		}
+		total += res.ForwardCount()
+	}
+	return float64(total) / float64(runs)
+}
+
+// TestLimKimWorseThanSBA: the first-receipt version of SBA decides with
+// less information than SBA's backoff version, so it must forward more.
+func TestLimKimWorseThanSBA(t *testing.T) {
+	cfg := sim.Config{Hops: 2, Metric: view.MetricID}
+	limKim := meanForward(t, protocol.LimKimSelfPruning, cfg, 30)
+	sba := meanForward(t, protocol.SBA, cfg, 30)
+	if limKim <= sba {
+		t.Fatalf("LimKim-SP (%.2f) not worse than SBA (%.2f)", limKim, sba)
+	}
+}
+
+// TestStojmenovicImprovesOnWuLi: the neighbor-elimination pass on top of the
+// static Wu-Li statuses must reduce the forward count.
+func TestStojmenovicImprovesOnWuLi(t *testing.T) {
+	cfg := sim.Config{Hops: 2, Metric: view.MetricDegree}
+	stoj := meanForward(t, protocol.Stojmenovic, cfg, 30)
+	wuli := meanForward(t, protocol.WuLi, cfg, 30)
+	if stoj >= wuli {
+		t.Fatalf("Stojmenovic (%.2f) not better than Wu-Li (%.2f)", stoj, wuli)
+	}
+}
+
+// TestStojmenovicBeatsSBA: Stojmenovic's static pruning plus neighbor
+// elimination should outperform neighbor elimination alone.
+func TestStojmenovicBeatsSBA(t *testing.T) {
+	cfg := sim.Config{Hops: 2, Metric: view.MetricDegree}
+	stoj := meanForward(t, protocol.Stojmenovic, cfg, 30)
+	sba := meanForward(t, protocol.SBA, cfg, 30)
+	if stoj >= sba {
+		t.Fatalf("Stojmenovic (%.2f) not better than SBA (%.2f)", stoj, sba)
+	}
+}
+
+// TestTDPNotWorseThanPDP: TDP removes a superset (the full N2(u)) of what
+// PDP removes from the cover targets, so on shared workloads it should not
+// designate more.
+func TestTDPNotWorseThanPDP(t *testing.T) {
+	cfg := sim.Config{Hops: 2, Metric: view.MetricID}
+	tdp := meanForward(t, protocol.TDP, cfg, 40)
+	pdp := meanForward(t, protocol.PDP, cfg, 40)
+	if tdp > pdp*1.02 {
+		t.Fatalf("TDP (%.2f) clearly worse than PDP (%.2f)", tdp, pdp)
+	}
+}
+
+func TestNewSpecialsDescribe(t *testing.T) {
+	stoj, ok := protocol.Stojmenovic().(protocol.Describer)
+	if !ok {
+		t.Fatal("Stojmenovic does not describe itself")
+	}
+	if info := stoj.Describe(); info.Timing != protocol.TimingBackoffRandom ||
+		info.Selection != protocol.SelfPruning {
+		t.Fatalf("Stojmenovic classified as %+v", info)
+	}
+	lk, ok := protocol.LimKimSelfPruning().(protocol.Describer)
+	if !ok {
+		t.Fatal("LimKim does not describe itself")
+	}
+	if info := lk.Describe(); info.Timing != protocol.TimingFirstReceipt ||
+		info.Selection != protocol.SelfPruning {
+		t.Fatalf("LimKim classified as %+v", info)
+	}
+}

@@ -1,0 +1,146 @@
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"adhocbcast/internal/experiments"
+)
+
+// chart geometry constants (pixels).
+const (
+	panelWidth   = 340
+	panelHeight  = 260
+	marginLeft   = 46
+	marginRight  = 14
+	marginTop    = 34
+	marginBottom = 40
+	legendHeight = 18
+)
+
+// seriesPalette holds the line colors, cycled across series.
+var seriesPalette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+}
+
+// Chart writes an SVG line chart of a reproduced figure to w: one panel per
+// figure panel, laid out two per row, with shared styling — the plotted
+// counterpart of the paper's evaluation figures. Error bars show the 90%
+// confidence half-widths.
+func Chart(w io.Writer, fig experiments.Figure) error {
+	cols := 2
+	if len(fig.Panels) < 2 {
+		cols = 1
+	}
+	rows := (len(fig.Panels) + cols - 1) / cols
+	width := cols * panelWidth
+	height := rows*panelHeight + 24 // room for the figure title
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="16" font-family="sans-serif" font-size="14" font-weight="bold">Figure %s: %s</text>`+"\n",
+		8, escapeXML(fig.ID), escapeXML(fig.Title))
+
+	for i, panel := range fig.Panels {
+		ox := (i % cols) * panelWidth
+		oy := 24 + (i/cols)*panelHeight
+		drawPanel(&b, panel, fig.Unit, ox, oy)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// drawPanel renders one subplot at the given origin.
+func drawPanel(b *strings.Builder, panel experiments.Panel, unit string, ox, oy int) {
+	if unit == "" {
+		unit = "forward nodes"
+	}
+	// Data ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymax := 0.0
+	for _, s := range panel.Series {
+		for _, p := range s.Points {
+			xmin = math.Min(xmin, float64(p.X))
+			xmax = math.Max(xmax, float64(p.X))
+			ymax = math.Max(ymax, p.Mean+p.CI)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return // empty panel
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == 0 {
+		ymax = 1
+	}
+	ymax *= 1.05
+
+	plotW := float64(panelWidth - marginLeft - marginRight)
+	plotH := float64(panelHeight - marginTop - marginBottom - legendHeight)
+	px := func(x float64) float64 {
+		return float64(ox+marginLeft) + (x-xmin)/(xmax-xmin)*plotW
+	}
+	py := func(y float64) float64 {
+		return float64(oy+marginTop+legendHeight) + (1-y/ymax)*plotH
+	}
+
+	// Panel title and frame.
+	fmt.Fprintf(b, `<text x="%.0f" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+		px(xmin), oy+14, escapeXML(panel.Title))
+	fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#333333"/>`+"\n",
+		px(xmin), py(ymax), plotW, plotH)
+
+	// Y ticks at 5 even divisions; X ticks at each distinct data x.
+	for i := 0; i <= 5; i++ {
+		y := ymax * float64(i) / 5
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			px(xmin), py(y), px(xmax), py(y))
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="9" text-anchor="end">%.0f</text>`+"\n",
+			px(xmin)-4, py(y)+3, y)
+	}
+	seenX := map[int]bool{}
+	for _, s := range panel.Series {
+		for _, p := range s.Points {
+			if !seenX[p.X] {
+				seenX[p.X] = true
+				fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="9" text-anchor="middle">%d</text>`+"\n",
+					px(float64(p.X)), py(0)+12, p.X)
+			}
+		}
+	}
+	// Axis label.
+	fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="9" text-anchor="middle">%s</text>`+"\n",
+		px((xmin+xmax)/2), py(0)+26, escapeXML(unit))
+
+	// Series lines with error bars and legend.
+	for si, s := range panel.Series {
+		color := seriesPalette[si%len(seriesPalette)]
+		var pts []string
+		for _, p := range s.Points {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(float64(p.X)), py(p.Mean)))
+			if p.CI > 0 {
+				fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+					px(float64(p.X)), py(p.Mean-p.CI), px(float64(p.X)), py(math.Min(p.Mean+p.CI, ymax)), color)
+			}
+		}
+		fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for _, p := range s.Points {
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="%s"/>`+"\n",
+				px(float64(p.X)), py(p.Mean), color)
+		}
+		// Legend entry.
+		lx := float64(ox+marginLeft) + float64(si%3)*(plotW/3)
+		ly := float64(oy + marginTop + 10*(si/3))
+		fmt.Fprintf(b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly, lx+14, ly, color)
+		fmt.Fprintf(b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="9">%s</text>`+"\n",
+			lx+18, ly+3, escapeXML(s.Label))
+	}
+}

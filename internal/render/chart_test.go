@@ -1,0 +1,119 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"adhocbcast/internal/experiments"
+)
+
+func sampleFigure() experiments.Figure {
+	return experiments.Figure{
+		ID:    "10",
+		Title: "timing options",
+		Panels: []experiments.Panel{
+			{
+				Title: "d=6",
+				Series: []experiments.Series{
+					{Label: "Static", Points: []experiments.Point{
+						{X: 20, Mean: 8, CI: 0.3}, {X: 100, Mean: 50, CI: 1.2},
+					}},
+					{Label: "FR", Points: []experiments.Point{
+						{X: 20, Mean: 7, CI: 0.2}, {X: 100, Mean: 45, CI: 0.9},
+					}},
+				},
+			},
+			{
+				Title: "d=18",
+				Series: []experiments.Series{
+					{Label: "Static", Points: []experiments.Point{
+						{X: 20, Mean: 2.4, CI: 0.1}, {X: 100, Mean: 22, CI: 0.7},
+					}},
+				},
+			},
+		},
+	}
+}
+
+func TestChartStructure(t *testing.T) {
+	var b strings.Builder
+	if err := Chart(&b, sampleFigure()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(out, "</svg>\n") {
+		t.Fatal("not a well-formed SVG envelope")
+	}
+	for _, want := range []string{
+		"Figure 10: timing options",
+		"d=6", "d=18",
+		"Static", "FR",
+		"forward nodes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q", want)
+		}
+	}
+	// Three series across both panels: three polylines.
+	if got := strings.Count(out, "<polyline "); got != 3 {
+		t.Fatalf("%d polylines, want 3", got)
+	}
+	// Every point gets a marker: 2+2+2 circles.
+	if got := strings.Count(out, "<circle "); got != 6 {
+		t.Fatalf("%d markers, want 6", got)
+	}
+}
+
+func TestChartCustomUnit(t *testing.T) {
+	fig := sampleFigure()
+	fig.Unit = "delivery %"
+	var b strings.Builder
+	if err := Chart(&b, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "delivery %") {
+		t.Fatal("custom unit missing")
+	}
+}
+
+func TestChartEmptyPanel(t *testing.T) {
+	fig := experiments.Figure{
+		ID:     "x",
+		Title:  "empty",
+		Panels: []experiments.Panel{{Title: "none"}},
+	}
+	var b strings.Builder
+	if err := Chart(&b, fig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg ") {
+		t.Fatal("no SVG produced for empty figure")
+	}
+}
+
+func TestChartWriteError(t *testing.T) {
+	if err := Chart(failWriter{}, sampleFigure()); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}
+
+func TestChartSinglePointSeries(t *testing.T) {
+	// A single x value must not divide by zero.
+	fig := experiments.Figure{
+		ID:    "1",
+		Title: "point",
+		Panels: []experiments.Panel{{
+			Title: "p",
+			Series: []experiments.Series{
+				{Label: "only", Points: []experiments.Point{{X: 50, Mean: 10, CI: 1}}},
+			},
+		}},
+	}
+	var b strings.Builder
+	if err := Chart(&b, fig); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "NaN") {
+		t.Fatal("NaN coordinates in chart")
+	}
+}

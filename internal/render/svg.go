@@ -1,0 +1,99 @@
+// Package render draws generated networks and broadcast outcomes as SVG
+// documents — the publication-style counterpart of the paper's Figure 9.
+// Links are thin gray lines, non-forward nodes hollow circles, forward
+// nodes filled, and the source a filled square.
+package render
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"adhocbcast/internal/geo"
+)
+
+// SVGOptions controls the rendering.
+type SVGOptions struct {
+	// Width is the document width in pixels (default 480). Height scales
+	// with the deployment area aspect ratio (which is square, so height
+	// equals width).
+	Width int
+	// Side is the deployment area side length (default 100).
+	Side float64
+	// Title is an optional caption drawn above the plot.
+	Title string
+}
+
+func (o SVGOptions) withDefaults() SVGOptions {
+	if o.Width <= 0 {
+		o.Width = 480
+	}
+	if o.Side <= 0 {
+		o.Side = 100
+	}
+	return o
+}
+
+// SVG writes an SVG rendering of the network to w: every link, with the
+// forward nodes (in transmission order, first element treated as the
+// source) highlighted. A nil or empty forward set renders the bare
+// topology.
+func SVG(w io.Writer, net *geo.Network, forward []int, opts SVGOptions) error {
+	opts = opts.withDefaults()
+	const margin = 12.0
+	scale := (float64(opts.Width) - 2*margin) / opts.Side
+	titlePad := 0.0
+	if opts.Title != "" {
+		titlePad = 22
+	}
+	height := float64(opts.Width) + titlePad
+
+	x := func(p geo.Point) float64 { return margin + p.X*scale }
+	y := func(p geo.Point) float64 { return titlePad + margin + (opts.Side-p.Y)*scale }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%.0f" viewBox="0 0 %d %.0f">`+"\n",
+		opts.Width, height, opts.Width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if opts.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="16" font-family="sans-serif" font-size="13">%s</text>`+"\n",
+			int(margin), escapeXML(opts.Title))
+	}
+
+	b.WriteString(`<g stroke="#bbbbbb" stroke-width="0.7">` + "\n")
+	for _, e := range net.G.Edges() {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n",
+			x(net.Pos[e[0]]), y(net.Pos[e[0]]), x(net.Pos[e[1]]), y(net.Pos[e[1]]))
+	}
+	b.WriteString("</g>\n")
+
+	isForward := make(map[int]bool, len(forward))
+	for _, v := range forward {
+		isForward[v] = true
+	}
+	source := -1
+	if len(forward) > 0 {
+		source = forward[0]
+	}
+	for v, p := range net.Pos {
+		switch {
+		case v == source:
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="8" height="8" fill="#d62728"/>`+"\n",
+				x(p)-4, y(p)-4)
+		case isForward[v]:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="#1f77b4"/>`+"\n", x(p), y(p))
+		default:
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="white" stroke="#444444"/>`+"\n",
+				x(p), y(p))
+		}
+	}
+	b.WriteString("</svg>\n")
+
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,88 @@
+package render
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"adhocbcast/internal/geo"
+)
+
+func genNet(t *testing.T) *geo.Network {
+	t.Helper()
+	net, err := geo.Generate(geo.Config{N: 30, AvgDegree: 6}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestSVGStructure(t *testing.T) {
+	net := genNet(t)
+	var b strings.Builder
+	forward := []int{5, 2, 9}
+	if err := SVG(&b, net, forward, SVGOptions{Title: `forward <set> "demo"`}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg ") || !strings.HasSuffix(out, "</svg>\n") {
+		t.Fatal("not a well-formed SVG envelope")
+	}
+	if got := strings.Count(out, "<line "); got != net.G.M() {
+		t.Fatalf("%d lines drawn, want %d links", got, net.G.M())
+	}
+	// One square source, two filled forwards, the rest hollow.
+	if got := strings.Count(out, "<rect x="); got != 1 {
+		t.Fatalf("%d source markers, want 1", got)
+	}
+	if got := strings.Count(out, `fill="#1f77b4"`); got != 2 {
+		t.Fatalf("%d forward markers, want 2", got)
+	}
+	if got := strings.Count(out, `fill="white" stroke=`); got != net.G.N()-3 {
+		t.Fatalf("%d hollow markers, want %d", got, net.G.N()-3)
+	}
+	// The title must be XML-escaped.
+	if !strings.Contains(out, "forward &lt;set&gt; &quot;demo&quot;") {
+		t.Fatal("title not escaped")
+	}
+	if strings.Contains(out, `forward <set>`) {
+		t.Fatal("raw title leaked into the document")
+	}
+}
+
+func TestSVGBareTopology(t *testing.T) {
+	net := genNet(t)
+	var b strings.Builder
+	if err := SVG(&b, net, nil, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "<rect x=") != 0 {
+		t.Fatal("source marker drawn without a forward set")
+	}
+	if got := strings.Count(out, "<circle "); got != net.G.N() {
+		t.Fatalf("%d node markers, want %d", got, net.G.N())
+	}
+	if strings.Contains(out, "<text") {
+		t.Fatal("title drawn without one configured")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) {
+	return 0, errWrite
+}
+
+var errWrite = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "sink failed" }
+
+func TestSVGWriteError(t *testing.T) {
+	net := genNet(t)
+	if err := SVG(failWriter{}, net, nil, SVGOptions{}); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}

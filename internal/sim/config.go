@@ -1,0 +1,83 @@
+// Package sim is the discrete-event broadcast simulator: every transmission
+// is heard by all neighbors after a unit delay, per-node local views carry
+// snooped and piggybacked broadcast state, timers implement the backoff
+// policies, and event ordering is fully deterministic. The MAC is
+// collision-free by default (the paper's evaluation setup); optional loss,
+// collision, and jitter models support the reliability experiments, and an
+// optional stale view topology supports the mobility experiments. Protocols
+// plug in through the Protocol interface; the simulator owns all common
+// bookkeeping (view construction, visited/designated marking, delivery
+// accounting).
+package sim
+
+import (
+	"adhocbcast/internal/graph"
+	"adhocbcast/internal/view"
+)
+
+// Config holds the physical and view-formation parameters of a run.
+type Config struct {
+	// Observer, when non-nil, receives transmit/deliver/non-forward events
+	// as they happen (see Recorder for a ready-made implementation).
+	Observer Observer
+	// ViewTopology, when non-nil, is the (possibly stale) topology the
+	// local views are built from, while transmissions propagate over the
+	// actual graph passed to Run. It models views assembled from hello
+	// messages exchanged before the nodes moved. Nil means views match the
+	// actual topology (the paper's static evaluation assumption).
+	ViewTopology *graph.Graph
+	// Hops is the k of the k-hop local views; 0 or negative selects the
+	// global view.
+	Hops int
+	// Metric selects the priority metric (default view.MetricID).
+	Metric view.Metric
+	// PiggybackDepth is h, the number of most recently visited nodes (with
+	// their designated sets) carried in the broadcast packet. Default 2.
+	// Negative disables piggybacking entirely (only MAC-level snooping of
+	// the sender remains).
+	PiggybackDepth int
+	// BackoffWindow is the maximum backoff delay, in transmission slots,
+	// used by backoff-based timing policies. Default 8: large enough that a
+	// backing-off node usually hears some same-wave neighbors forward
+	// before deciding, which is the entire point of FRB/FRBD.
+	BackoffWindow float64
+	// TransmitDelay is the time for a transmission to reach all neighbors.
+	// Default 1.
+	TransmitDelay float64
+	// Seed drives the run's private RNG (backoff jitter, loss draws).
+	Seed int64
+
+	// The fields below model an unreliable MAC layer for reliability
+	// experiments (the paper's Section 1 discussion and its companion
+	// work). All default to off, which reproduces the paper's collision-
+	// free evaluation setup.
+
+	// LossRate is an independent per-receipt loss probability in [0, 1).
+	LossRate float64
+	// Collisions, when true, drops every copy that arrives at a receiver
+	// simultaneously with another copy (a CSMA-less broadcast collision).
+	Collisions bool
+	// TxJitter adds a uniform random delay in [0, TxJitter) to each
+	// transmission, de-synchronizing retransmission waves (the "small
+	// forwarding jitter delay" that relieves collisions).
+	TxJitter float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Metric == 0 {
+		c.Metric = view.MetricID
+	}
+	if c.PiggybackDepth == 0 {
+		c.PiggybackDepth = 2
+	}
+	if c.PiggybackDepth < 0 {
+		c.PiggybackDepth = 0
+	}
+	if c.BackoffWindow <= 0 {
+		c.BackoffWindow = 8
+	}
+	if c.TransmitDelay <= 0 {
+		c.TransmitDelay = 1
+	}
+	return c
+}

@@ -1,0 +1,47 @@
+package sim
+
+import "container/heap"
+
+type eventKind int
+
+const (
+	eventReceive eventKind = iota + 1
+	eventTimer
+)
+
+// event is a scheduled simulator action. Events are ordered by time with the
+// insertion sequence number as a deterministic tie-breaker.
+type event struct {
+	at      float64
+	seq     int
+	kind    eventKind
+	node    int
+	receipt Receipt // valid for eventReceive
+}
+
+// eventQueue is a binary min-heap of events.
+type eventQueue []*event
+
+var _ heap.Interface = (*eventQueue)(nil)
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}

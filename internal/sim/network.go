@@ -1,0 +1,388 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"adhocbcast/internal/graph"
+	"adhocbcast/internal/view"
+)
+
+// Protocol is a broadcast protocol plugged into the simulator. One Protocol
+// value serves a single run; stateful protocols keep per-run state in the
+// node states' Data slots or in themselves.
+type Protocol interface {
+	// Name returns the protocol's display name.
+	Name() string
+	// Init runs once per simulation after local views are built; static
+	// protocols compute their forward sets here.
+	Init(net *Network)
+	// Start handles the broadcast source at time 0. The source always
+	// forwards; protocols that designate forward neighbors select them here.
+	Start(net *Network, source int)
+	// OnReceive handles delivery of one packet copy to node v. The network
+	// has already recorded the receipt and merged the packet's broadcast
+	// state into v's local view.
+	OnReceive(net *Network, v int, r Receipt)
+	// OnTimer fires a timer previously set with Network.SetTimer.
+	OnTimer(net *Network, v int)
+}
+
+// NodeState is the simulator-side state of one node.
+type NodeState struct {
+	// ID is the node id.
+	ID int
+	// View is the node's local view (topology plus learned broadcast
+	// state).
+	View *view.Local
+	// Received reports whether at least one packet copy arrived.
+	Received bool
+	// FirstFrom is the sender of the first copy (-1 at the source).
+	FirstFrom int
+	// FirstPacket is the first delivered packet copy.
+	FirstPacket Packet
+	// LastPacket is the most recently delivered copy; its trail seeds the
+	// trail of this node's own transmission.
+	LastPacket Packet
+	// Sent reports whether the node has transmitted.
+	Sent bool
+	// NonForward reports a finalized non-forward decision.
+	NonForward bool
+	// DesignatedBy lists the nodes that designated this node as a forward
+	// node, in learning order.
+	DesignatedBy []int
+	// Receipts records every delivered copy in order.
+	Receipts []Receipt
+	// Data is protocol-private per-node state.
+	Data any
+}
+
+// Designated reports whether any node designated this node.
+func (st *NodeState) Designated() bool { return len(st.DesignatedBy) > 0 }
+
+// DesignatedByNode reports whether node u designated this node.
+func (st *NodeState) DesignatedByNode(u int) bool {
+	for _, x := range st.DesignatedBy {
+		if x == u {
+			return true
+		}
+	}
+	return false
+}
+
+// Result summarizes one simulated broadcast.
+type Result struct {
+	// Forward lists the transmitting nodes (including the source) in
+	// transmission order.
+	Forward []int
+	// Delivered is the number of nodes that received the packet.
+	Delivered int
+	// N is the network size.
+	N int
+	// Finish is the time of the last event.
+	Finish float64
+	// Receipts is the total number of packet copies delivered (a measure
+	// of channel load and redundancy).
+	Receipts int
+	// Lost counts copies dropped by the random-loss model.
+	Lost int
+	// Collided counts copies dropped by the collision model.
+	Collided int
+}
+
+// DeliveryRatio returns the fraction of nodes that received the packet.
+func (r Result) DeliveryRatio() float64 {
+	if r.N == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.N)
+}
+
+// ForwardCount returns the number of forward (transmitting) nodes.
+func (r Result) ForwardCount() int { return len(r.Forward) }
+
+// FullDelivery reports whether every node received the packet.
+func (r Result) FullDelivery() bool { return r.Delivered == r.N }
+
+// Network is one simulation instance.
+type Network struct {
+	// G is the true connectivity graph.
+	G *graph.Graph
+	// Cfg is the run configuration (defaults applied).
+	Cfg Config
+	// Source is the broadcast originator.
+	Source int
+
+	protocol Protocol
+	rng      *rand.Rand
+	now      float64
+	seq      int
+	queue    eventQueue
+	nodes    []*NodeState
+	forward  []int
+	base     []view.Priority
+	viewG    *graph.Graph // topology the views were built from
+	receipts int
+	lost     int
+	collided int
+}
+
+// Run simulates one broadcast of protocol p from source over g and returns
+// the outcome. It returns an error only for invalid inputs; protocol
+// behavior (including failed delivery) is reported in the Result.
+func Run(g *graph.Graph, source int, p Protocol, cfg Config) (Result, error) {
+	if source < 0 || source >= g.N() {
+		return Result{}, fmt.Errorf("sim: source %d out of range [0,%d)", source, g.N())
+	}
+	net := &Network{
+		G:        g,
+		Cfg:      cfg.withDefaults(),
+		Source:   source,
+		protocol: p,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+	net.build()
+	p.Init(net)
+	net.deliverToSource()
+	p.Start(net, source)
+	net.loop()
+	return net.result(), nil
+}
+
+func (net *Network) build() {
+	n := net.G.N()
+	// Views (and the priority metrics inside them) come from the view
+	// topology, which may be a stale snapshot of the actual graph.
+	vg := net.G
+	if net.Cfg.ViewTopology != nil {
+		vg = net.Cfg.ViewTopology
+	}
+	net.viewG = vg
+	net.base = view.BasePriorities(vg, net.Cfg.Metric)
+	net.nodes = make([]*NodeState, n)
+	for v := 0; v < n; v++ {
+		net.nodes[v] = &NodeState{
+			ID:        v,
+			View:      view.NewLocal(vg, v, net.Cfg.Hops, net.base),
+			FirstFrom: -1,
+		}
+	}
+}
+
+// deliverToSource marks the source as having the packet so that protocols
+// can treat it uniformly.
+func (net *Network) deliverToSource() {
+	st := net.nodes[net.Source]
+	st.Received = true
+	st.FirstPacket = Packet{Source: net.Source}
+	st.LastPacket = st.FirstPacket
+}
+
+func (net *Network) loop() {
+	if !net.Cfg.Collisions {
+		for net.queue.Len() > 0 {
+			e := heap.Pop(&net.queue).(*event)
+			net.now = e.at
+			net.dispatch(e)
+		}
+		return
+	}
+	// Collision mode: drain all events sharing one instant as a batch; two
+	// or more copies arriving at the same receiver at the same instant
+	// destroy each other.
+	var batch []*event
+	for net.queue.Len() > 0 {
+		batch = batch[:0]
+		at := net.queue[0].at
+		for net.queue.Len() > 0 && net.queue[0].at == at {
+			batch = append(batch, heap.Pop(&net.queue).(*event))
+		}
+		net.now = at
+		arrivals := make(map[int]int)
+		for _, e := range batch {
+			if e.kind == eventReceive {
+				arrivals[e.node]++
+			}
+		}
+		for _, e := range batch {
+			if e.kind == eventReceive && arrivals[e.node] > 1 {
+				net.collided++
+				continue
+			}
+			net.dispatch(e)
+		}
+	}
+}
+
+func (net *Network) dispatch(e *event) {
+	switch e.kind {
+	case eventReceive:
+		net.handleReceive(e.node, e.receipt)
+	case eventTimer:
+		net.protocol.OnTimer(net, e.node)
+	}
+}
+
+func (net *Network) handleReceive(v int, r Receipt) {
+	if net.Cfg.LossRate > 0 && net.rng.Float64() < net.Cfg.LossRate {
+		net.lost++
+		return
+	}
+	net.receipts++
+	if net.Cfg.Observer != nil {
+		net.Cfg.Observer.OnDeliver(v, r.From, net.now)
+	}
+	st := net.nodes[v]
+	first := !st.Received
+	st.Received = true
+	if first {
+		st.FirstFrom = r.From
+		st.FirstPacket = r.Packet
+	}
+	st.LastPacket = r.Packet
+	st.Receipts = append(st.Receipts, r)
+
+	// Merge broadcast state into the local view: the sender is visited
+	// (snooped); the trail carries piggybacked visited nodes and their
+	// designated forward sets.
+	st.View.MarkVisited(r.From)
+	for _, entry := range r.Packet.Trail {
+		st.View.MarkVisited(entry.Node)
+		for _, d := range entry.Designated {
+			if d == v {
+				if !st.DesignatedByNode(entry.Node) {
+					st.DesignatedBy = append(st.DesignatedBy, entry.Node)
+				}
+			}
+			// A designated node (including this one) is promoted to the
+			// intermediate 1.5 status of Section 4.2 under this view.
+			st.View.MarkDesignated(d)
+		}
+	}
+	net.protocol.OnReceive(net, v, r)
+}
+
+func (net *Network) result() Result {
+	delivered := 0
+	for _, st := range net.nodes {
+		if st.Received {
+			delivered++
+		}
+	}
+	return Result{
+		Forward:   append([]int(nil), net.forward...),
+		Delivered: delivered,
+		N:         net.G.N(),
+		Finish:    net.now,
+		Receipts:  net.receipts,
+		Lost:      net.lost,
+		Collided:  net.collided,
+	}
+}
+
+// Now returns the current simulation time.
+func (net *Network) Now() float64 { return net.now }
+
+// State returns the simulator state of node v.
+func (net *Network) State(v int) *NodeState { return net.nodes[v] }
+
+// RandomBackoff draws a uniform backoff delay from [0, BackoffWindow).
+func (net *Network) RandomBackoff() float64 {
+	return net.rng.Float64() * net.Cfg.BackoffWindow
+}
+
+// DegreeBackoff returns the backoff of the FRBD policy, proportional to the
+// inverse of the node degree so that higher-degree nodes decide earlier:
+// BackoffWindow * avgDegree / deg(v). The average-degree scaling keeps the
+// spread between degree classes larger than the transmission delay, so
+// low-degree nodes actually hear their high-degree neighbors forward before
+// deciding.
+func (net *Network) DegreeBackoff(v int) float64 {
+	// Degrees come from the node's (possibly stale) knowledge, i.e. the
+	// view topology.
+	d := net.viewG.Degree(v)
+	if d == 0 {
+		return net.Cfg.BackoffWindow
+	}
+	return net.Cfg.BackoffWindow * net.viewG.AverageDegree() / float64(d)
+}
+
+// SetTimer schedules an OnTimer callback for node v after delay (>= 0).
+func (net *Network) SetTimer(v int, delay float64) {
+	if delay < 0 {
+		delay = 0
+	}
+	net.seq++
+	heap.Push(&net.queue, &event{
+		at:   net.now + delay,
+		seq:  net.seq,
+		kind: eventTimer,
+		node: v,
+	})
+}
+
+// MarkNonForward finalizes a non-forward decision for v.
+func (net *Network) MarkNonForward(v int) {
+	if !net.nodes[v].NonForward && net.Cfg.Observer != nil {
+		net.Cfg.Observer.OnNonForward(v, net.now)
+	}
+	net.nodes[v].NonForward = true
+}
+
+// Transmit makes node v forward the broadcast packet now, carrying the given
+// designated forward set. All neighbors receive a copy after TransmitDelay.
+// Repeated transmissions by the same node are ignored (a node forwards at
+// most once).
+func (net *Network) Transmit(v int, designated []int) {
+	net.TransmitExtra(v, designated, nil)
+}
+
+// TransmitExtra is Transmit with a protocol-specific extra payload attached
+// to the packet.
+func (net *Network) TransmitExtra(v int, designated, extra []int) {
+	st := net.nodes[v]
+	if st.Sent {
+		return
+	}
+	st.Sent = true
+	st.View.MarkVisited(v)
+	net.forward = append(net.forward, v)
+	if net.Cfg.Observer != nil {
+		net.Cfg.Observer.OnTransmit(v, net.now, designated)
+	}
+
+	trail := st.LastPacket.Trail
+	entry := TrailEntry{Node: v, Designated: append([]int(nil), designated...)}
+	newTrail := make([]TrailEntry, 0, len(trail)+1)
+	newTrail = append(newTrail, trail...)
+	newTrail = append(newTrail, entry)
+	if h := net.Cfg.PiggybackDepth; len(newTrail) > h {
+		newTrail = newTrail[len(newTrail)-h:]
+	}
+	pkt := Packet{
+		Source: st.LastPacket.Source,
+		Trail:  newTrail,
+		Extra:  extra,
+	}
+	arrive := net.now + net.Cfg.TransmitDelay
+	if net.Cfg.TxJitter > 0 {
+		// One jitter draw per transmission: all neighbors hear the same
+		// (delayed) transmission at the same instant.
+		arrive += net.rng.Float64() * net.Cfg.TxJitter
+	}
+	net.G.ForEachNeighbor(v, func(u int) {
+		net.seq++
+		heap.Push(&net.queue, &event{
+			at:   arrive,
+			seq:  net.seq,
+			kind: eventReceive,
+			node: u,
+			receipt: Receipt{
+				From:   v,
+				At:     arrive,
+				Packet: pkt,
+			},
+		})
+	})
+}

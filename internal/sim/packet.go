@@ -1,0 +1,50 @@
+package sim
+
+// TrailEntry records one recently visited node carried in a broadcast
+// packet, together with the designated forward set that node selected (see
+// Figure 5 of the paper).
+type TrailEntry struct {
+	// Node is the visited node's id.
+	Node int
+	// Designated lists the forward neighbors Node selected, if any.
+	Designated []int
+}
+
+// Packet is one copy of the broadcast packet as delivered to a neighbor.
+type Packet struct {
+	// Source is the broadcast originator.
+	Source int
+	// Trail lists the h most recently visited nodes, oldest first; the last
+	// entry is the transmitting node itself.
+	Trail []TrailEntry
+	// Extra is an optional protocol-specific payload (e.g. TDP piggybacks
+	// the sender's 2-hop neighbor set).
+	Extra []int
+}
+
+// Sender returns the transmitting node of this packet copy.
+func (p Packet) Sender() int {
+	if len(p.Trail) == 0 {
+		return p.Source
+	}
+	return p.Trail[len(p.Trail)-1].Node
+}
+
+// SenderDesignated returns the designated forward set selected by the
+// transmitting node.
+func (p Packet) SenderDesignated() []int {
+	if len(p.Trail) == 0 {
+		return nil
+	}
+	return p.Trail[len(p.Trail)-1].Designated
+}
+
+// Receipt is the delivery of one packet copy to a node.
+type Receipt struct {
+	// From is the transmitting neighbor.
+	From int
+	// At is the delivery time.
+	At float64
+	// Packet is the delivered packet.
+	Packet Packet
+}

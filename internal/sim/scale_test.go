@@ -1,0 +1,48 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"adhocbcast/internal/geo"
+	"adhocbcast/internal/protocol"
+	"adhocbcast/internal/sim"
+	"adhocbcast/internal/view"
+)
+
+// TestLargeNetworkBroadcast checks the stack well beyond the paper's n=100
+// evaluation sizes: generation, view construction, and a full broadcast on a
+// 400-node network must stay correct (and fast enough to live in the unit
+// test suite).
+func TestLargeNetworkBroadcast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-network scalability check")
+	}
+	rng := rand.New(rand.NewSource(404))
+	net, err := geo.Generate(geo.Config{N: 400, AvgDegree: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mk := range []func() sim.Protocol{
+		func() sim.Protocol { return protocol.Generic(protocol.TimingFirstReceipt) },
+		protocol.PDP,
+		protocol.SBA,
+	} {
+		p := mk()
+		res, err := sim.Run(net.G, 0, p, sim.Config{
+			Hops:   2,
+			Metric: view.MetricDegree,
+			Seed:   1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if !res.FullDelivery() {
+			t.Fatalf("%s: delivered %d/%d", p.Name(), res.Delivered, res.N)
+		}
+		if res.ForwardCount() >= 400 {
+			t.Fatalf("%s: no pruning at scale (%d forwards)", p.Name(), res.ForwardCount())
+		}
+		t.Logf("%s: %d of 400 forwarded", p.Name(), res.ForwardCount())
+	}
+}

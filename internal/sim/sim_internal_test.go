@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adhocbcast/internal/view"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Metric != view.MetricID {
+		t.Fatalf("default metric = %v", c.Metric)
+	}
+	if c.PiggybackDepth != 2 {
+		t.Fatalf("default piggyback depth = %d", c.PiggybackDepth)
+	}
+	if c.BackoffWindow != 8 {
+		t.Fatalf("default backoff window = %v", c.BackoffWindow)
+	}
+	if c.TransmitDelay != 1 {
+		t.Fatalf("default transmit delay = %v", c.TransmitDelay)
+	}
+}
+
+func TestConfigNegativePiggybackDisables(t *testing.T) {
+	c := Config{PiggybackDepth: -1}.withDefaults()
+	if c.PiggybackDepth != 0 {
+		t.Fatalf("piggyback depth = %d, want 0", c.PiggybackDepth)
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	heap.Push(&q, &event{at: 2.0, seq: 1, node: 0})
+	heap.Push(&q, &event{at: 1.0, seq: 2, node: 1})
+	heap.Push(&q, &event{at: 1.0, seq: 3, node: 2})
+	heap.Push(&q, &event{at: 0.5, seq: 4, node: 3})
+
+	var order []int
+	for q.Len() > 0 {
+		order = append(order, heap.Pop(&q).(*event).node)
+	}
+	want := []int{3, 1, 2, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("pop order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEventQueueQuick checks the heap never pops out of (time, seq) order.
+func TestEventQueueQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q eventQueue
+		for i := 0; i < 200; i++ {
+			heap.Push(&q, &event{at: float64(rng.Intn(20)), seq: i, node: i})
+		}
+		var prev *event
+		for q.Len() > 0 {
+			e := heap.Pop(&q).(*event)
+			if prev != nil {
+				if e.at < prev.at || (e.at == prev.at && e.seq < prev.seq) {
+					return false
+				}
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPacketSender(t *testing.T) {
+	p := Packet{Source: 7}
+	if p.Sender() != 7 {
+		t.Fatalf("empty-trail sender = %d, want source 7", p.Sender())
+	}
+	if p.SenderDesignated() != nil {
+		t.Fatal("empty-trail designated set not nil")
+	}
+	p.Trail = []TrailEntry{
+		{Node: 3, Designated: []int{9}},
+		{Node: 5, Designated: []int{1, 2}},
+	}
+	if p.Sender() != 5 {
+		t.Fatalf("sender = %d, want 5", p.Sender())
+	}
+	d := p.SenderDesignated()
+	if len(d) != 2 || d[0] != 1 || d[1] != 2 {
+		t.Fatalf("designated = %v", d)
+	}
+}

@@ -1,0 +1,63 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"adhocbcast/internal/geo"
+	"adhocbcast/internal/protocol"
+	"adhocbcast/internal/sim"
+	"adhocbcast/internal/view"
+)
+
+// TestSmokeAllProtocolsDeliver runs every protocol once on a random network
+// and checks full delivery — the end-to-end sanity check for the whole
+// stack. Detailed coverage properties live in the protocol test suite.
+func TestSmokeAllProtocolsDeliver(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net, err := geo.Generate(geo.Config{N: 60, AvgDegree: 6}, rng)
+	if err != nil {
+		t.Fatalf("generate network: %v", err)
+	}
+	protos := []sim.Protocol{
+		protocol.Flooding(),
+		protocol.Generic(protocol.TimingStatic),
+		protocol.Generic(protocol.TimingFirstReceipt),
+		protocol.Generic(protocol.TimingBackoffRandom),
+		protocol.Generic(protocol.TimingBackoffDegree),
+		protocol.GenericStrong(protocol.TimingFirstReceipt),
+		protocol.SelfPruningFR(),
+		protocol.NeighborDesignatingFR(),
+		protocol.HybridMaxDeg(),
+		protocol.HybridMinPri(),
+		protocol.WuLi(),
+		protocol.RuleK(),
+		protocol.Span(),
+		protocol.MPR(),
+		protocol.SBA(),
+		protocol.LENWB(),
+		protocol.DP(),
+		protocol.PDP(),
+		protocol.TDP(),
+	}
+	for _, p := range protos {
+		t.Run(p.Name(), func(t *testing.T) {
+			res, err := sim.Run(net.G, 0, p, sim.Config{
+				Hops:   2,
+				Metric: view.MetricDegree,
+				Seed:   1,
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if !res.FullDelivery() {
+				t.Fatalf("delivered %d of %d nodes; forward set %v",
+					res.Delivered, res.N, res.Forward)
+			}
+			if res.ForwardCount() < 1 || res.ForwardCount() > res.N {
+				t.Fatalf("implausible forward count %d", res.ForwardCount())
+			}
+			t.Logf("forward nodes: %d / %d", res.ForwardCount(), res.N)
+		})
+	}
+}

@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Observer receives simulation events as they happen; attach one through
+// Config.Observer to trace or visualize a broadcast. Callbacks run
+// synchronously inside the event loop and must not mutate the simulation.
+type Observer interface {
+	// OnTransmit fires when node v forwards the packet.
+	OnTransmit(v int, at float64, designated []int)
+	// OnDeliver fires when a packet copy from `from` reaches node v (after
+	// loss and collision filtering).
+	OnDeliver(v, from int, at float64)
+	// OnNonForward fires when node v finalizes a non-forward decision.
+	OnNonForward(v int, at float64)
+}
+
+// TraceEventKind labels recorded trace events.
+type TraceEventKind int
+
+// Trace event kinds.
+const (
+	TraceTransmit TraceEventKind = iota + 1
+	TraceDeliver
+	TraceNonForward
+)
+
+// String returns a short event-kind name.
+func (k TraceEventKind) String() string {
+	switch k {
+	case TraceTransmit:
+		return "transmit"
+	case TraceDeliver:
+		return "deliver"
+	case TraceNonForward:
+		return "non-forward"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceEvent is one recorded simulation event.
+type TraceEvent struct {
+	// Kind is the event type.
+	Kind TraceEventKind
+	// At is the simulation time.
+	At float64
+	// Node is the acting node (transmitter, receiver, or decider).
+	Node int
+	// From is the sender for deliver events (-1 otherwise).
+	From int
+	// Designated carries the designated forward set for transmit events.
+	Designated []int
+}
+
+// Recorder is an Observer that collects every event in order.
+type Recorder struct {
+	events []TraceEvent
+}
+
+var _ Observer = (*Recorder)(nil)
+
+// OnTransmit implements Observer.
+func (r *Recorder) OnTransmit(v int, at float64, designated []int) {
+	r.events = append(r.events, TraceEvent{
+		Kind:       TraceTransmit,
+		At:         at,
+		Node:       v,
+		From:       -1,
+		Designated: append([]int(nil), designated...),
+	})
+}
+
+// OnDeliver implements Observer.
+func (r *Recorder) OnDeliver(v, from int, at float64) {
+	r.events = append(r.events, TraceEvent{Kind: TraceDeliver, At: at, Node: v, From: from})
+}
+
+// OnNonForward implements Observer.
+func (r *Recorder) OnNonForward(v int, at float64) {
+	r.events = append(r.events, TraceEvent{Kind: TraceNonForward, At: at, Node: v, From: -1})
+}
+
+// Events returns the recorded events in occurrence order.
+func (r *Recorder) Events() []TraceEvent {
+	return append([]TraceEvent(nil), r.events...)
+}
+
+// Transmissions returns the transmit events only.
+func (r *Recorder) Transmissions() []TraceEvent {
+	var out []TraceEvent
+	for _, e := range r.events {
+		if e.Kind == TraceTransmit {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DeliveryTimes returns the first delivery time per node id. Note that the
+// source appears too once a neighbor's retransmission echoes back to it;
+// exclude it for end-to-end latency statistics if undesired.
+func (r *Recorder) DeliveryTimes() map[int]float64 {
+	out := make(map[int]float64)
+	for _, e := range r.events {
+		if e.Kind != TraceDeliver {
+			continue
+		}
+		if _, ok := out[e.Node]; !ok {
+			out[e.Node] = e.At
+		}
+	}
+	return out
+}
+
+// Format renders the trace as one line per event, for logs and debugging.
+func (r *Recorder) Format() string {
+	var b strings.Builder
+	for _, e := range r.events {
+		switch e.Kind {
+		case TraceTransmit:
+			if len(e.Designated) > 0 {
+				fmt.Fprintf(&b, "t=%6.2f  node %3d transmits, designating %v\n", e.At, e.Node, e.Designated)
+			} else {
+				fmt.Fprintf(&b, "t=%6.2f  node %3d transmits\n", e.At, e.Node)
+			}
+		case TraceDeliver:
+			fmt.Fprintf(&b, "t=%6.2f  node %3d receives from %d\n", e.At, e.Node, e.From)
+		case TraceNonForward:
+			fmt.Fprintf(&b, "t=%6.2f  node %3d takes non-forward status\n", e.At, e.Node)
+		}
+	}
+	return b.String()
+}
+
+// MeanDeliveryLatency returns the average first-delivery time across the
+// nodes that received the packet.
+func (r *Recorder) MeanDeliveryLatency() float64 {
+	times := r.DeliveryTimes()
+	if len(times) == 0 {
+		return 0
+	}
+	ids := make([]int, 0, len(times))
+	for id := range times {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	total := 0.0
+	for _, id := range ids {
+		total += times[id]
+	}
+	return total / float64(len(times))
+}

@@ -1,0 +1,115 @@
+package sim_test
+
+import (
+	"strings"
+	"testing"
+
+	"adhocbcast/internal/protocol"
+	"adhocbcast/internal/sim"
+)
+
+func TestRecorderOnPath(t *testing.T) {
+	g := pathGraph(t, 4)
+	rec := &sim.Recorder{}
+	res, err := sim.Run(g, 0, protocol.Generic(protocol.TimingFirstReceipt),
+		sim.Config{Hops: 2, Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FullDelivery() {
+		t.Fatalf("delivered %d/%d", res.Delivered, res.N)
+	}
+
+	tx := rec.Transmissions()
+	if len(tx) != res.ForwardCount() {
+		t.Fatalf("recorded %d transmissions, result says %d", len(tx), res.ForwardCount())
+	}
+	for i, e := range tx {
+		if e.Node != res.Forward[i] {
+			t.Fatalf("transmission order mismatch: trace %v vs result %v", tx, res.Forward)
+		}
+	}
+
+	// On a path 0-1-2-3, first deliveries happen at t = hop count.
+	times := rec.DeliveryTimes()
+	for v := 1; v <= 3; v++ {
+		if times[v] != float64(v) {
+			t.Fatalf("node %d first delivery at %v, want %d", v, times[v], v)
+		}
+	}
+	// The source hears node 1's retransmission echo at t=2.
+	if times[0] != 2 {
+		t.Fatalf("source echo delivery at %v, want 2", times[0])
+	}
+	want := (2.0 + 1.0 + 2.0 + 3.0) / 4.0
+	if got := rec.MeanDeliveryLatency(); got != want {
+		t.Fatalf("mean latency = %v, want %v", got, want)
+	}
+
+	// The leaf (node 3) prunes itself: exactly one non-forward decision.
+	nonForward := 0
+	for _, e := range rec.Events() {
+		if e.Kind == sim.TraceNonForward {
+			nonForward++
+			if e.Node != 3 {
+				t.Fatalf("unexpected non-forward decision at node %d", e.Node)
+			}
+		}
+	}
+	if nonForward != 1 {
+		t.Fatalf("non-forward decisions = %d, want 1", nonForward)
+	}
+}
+
+func TestRecorderFormat(t *testing.T) {
+	g := pathGraph(t, 3)
+	rec := &sim.Recorder{}
+	if _, err := sim.Run(g, 0, protocol.DP(), sim.Config{Hops: 2, Observer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	out := rec.Format()
+	for _, want := range []string{"transmits", "receives from", "designating"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecorderEmpty(t *testing.T) {
+	var rec sim.Recorder
+	if rec.MeanDeliveryLatency() != 0 {
+		t.Fatal("empty recorder latency not 0")
+	}
+	if len(rec.Events()) != 0 || len(rec.Transmissions()) != 0 {
+		t.Fatal("empty recorder has events")
+	}
+}
+
+func TestTraceEventKindString(t *testing.T) {
+	if sim.TraceTransmit.String() != "transmit" ||
+		sim.TraceDeliver.String() != "deliver" ||
+		sim.TraceNonForward.String() != "non-forward" ||
+		sim.TraceEventKind(0).String() != "unknown" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestObserverSeesLossFiltering(t *testing.T) {
+	// With total loss, the observer sees the source transmission and no
+	// deliveries.
+	g := pathGraph(t, 3)
+	rec := &sim.Recorder{}
+	if _, err := sim.Run(g, 0, protocol.Flooding(), sim.Config{
+		LossRate: 0.999999,
+		Seed:     1,
+		Observer: rec,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Transmissions()) != 1 {
+		t.Fatalf("transmissions = %d, want 1", len(rec.Transmissions()))
+	}
+	if len(rec.DeliveryTimes()) != 0 {
+		t.Fatalf("deliveries recorded despite total loss: %v", rec.DeliveryTimes())
+	}
+}

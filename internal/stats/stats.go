@@ -1,0 +1,149 @@
+// Package stats provides the replication machinery of the paper's
+// evaluation: sample means, Student-t 90% confidence intervals, and the
+// repeat-until-the-CI-is-within-±1% loop used for every data point.
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// Summary describes a sample of replicated measurements.
+type Summary struct {
+	// N is the number of samples.
+	N int
+	// Mean is the sample mean.
+	Mean float64
+	// StdDev is the sample standard deviation (Bessel-corrected).
+	StdDev float64
+	// HalfWidth90 is the half-width of the 90% confidence interval of the
+	// mean.
+	HalfWidth90 float64
+}
+
+// RelativeCI returns HalfWidth90 / |Mean|, or +Inf when the mean is zero.
+func (s Summary) RelativeCI() float64 {
+	if s.Mean == 0 {
+		return math.Inf(1)
+	}
+	return s.HalfWidth90 / math.Abs(s.Mean)
+}
+
+// Summarize computes the summary of the given samples.
+func Summarize(samples []float64) Summary {
+	n := len(samples)
+	if n == 0 {
+		return Summary{}
+	}
+	sum := 0.0
+	for _, x := range samples {
+		sum += x
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Summary{N: 1, Mean: mean, HalfWidth90: math.Inf(1)}
+	}
+	ss := 0.0
+	for _, x := range samples {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	hw := T90(n-1) * sd / math.Sqrt(float64(n))
+	return Summary{N: n, Mean: mean, StdDev: sd, HalfWidth90: hw}
+}
+
+// t90 holds two-sided 90% Student-t critical values for small degrees of
+// freedom; beyond the table the normal quantile 1.645 is used.
+var t90 = []float64{
+	math.Inf(1), // df = 0 (unused)
+	6.314, 2.920, 2.353, 2.132, 2.015,
+	1.943, 1.895, 1.860, 1.833, 1.812,
+	1.796, 1.782, 1.771, 1.761, 1.753,
+	1.746, 1.740, 1.734, 1.729, 1.725,
+	1.721, 1.717, 1.714, 1.711, 1.708,
+	1.706, 1.703, 1.701, 1.699, 1.697,
+}
+
+// T90 returns the two-sided 90% Student-t critical value for df degrees of
+// freedom.
+func T90(df int) float64 {
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df < len(t90) {
+		return t90[df]
+	}
+	switch {
+	case df < 40:
+		return 1.690
+	case df < 60:
+		return 1.676
+	case df < 120:
+		return 1.664
+	default:
+		return 1.645
+	}
+}
+
+// ErrNoSamples is returned when a replication produced no valid samples.
+var ErrNoSamples = errors.New("stats: no samples")
+
+// ReplicateOptions controls RunUntilCI.
+type ReplicateOptions struct {
+	// MinRuns is the minimum number of replications (default 30).
+	MinRuns int
+	// MaxRuns caps the replication count (default 2000).
+	MaxRuns int
+	// RelTol is the target relative CI half-width (default 0.01, the ±1%
+	// criterion of the paper).
+	RelTol float64
+}
+
+func (o ReplicateOptions) withDefaults() ReplicateOptions {
+	if o.MinRuns <= 0 {
+		o.MinRuns = 30
+	}
+	if o.MaxRuns <= 0 {
+		o.MaxRuns = 2000
+	}
+	if o.MaxRuns < o.MinRuns {
+		o.MaxRuns = o.MinRuns
+	}
+	if o.RelTol <= 0 {
+		o.RelTol = 0.01
+	}
+	return o
+}
+
+// RunUntilCI repeats sample(i) for i = 0, 1, ... until the 90% confidence
+// interval of the mean is within the relative tolerance (or MaxRuns is
+// reached) and returns the summary. sample may return an error to skip a
+// replication (e.g. a degenerate workload); if every replication fails,
+// ErrNoSamples is returned.
+func RunUntilCI(opts ReplicateOptions, sample func(i int) (float64, error)) (Summary, error) {
+	opts = opts.withDefaults()
+	samples := make([]float64, 0, opts.MinRuns)
+	var lastErr error
+	for i := 0; i < opts.MaxRuns; i++ {
+		x, err := sample(i)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		samples = append(samples, x)
+		if len(samples) >= opts.MinRuns {
+			s := Summarize(samples)
+			if s.RelativeCI() <= opts.RelTol {
+				return s, nil
+			}
+		}
+	}
+	if len(samples) == 0 {
+		if lastErr != nil {
+			return Summary{}, lastErr
+		}
+		return Summary{}, ErrNoSamples
+	}
+	return Summarize(samples), nil
+}

@@ -1,0 +1,110 @@
+package view
+
+import "adhocbcast/internal/graph"
+
+// Local is the local view of one node: the k-hop topology subgraph Gk(owner)
+// of Definition 2 together with a priority vector overlaying the broadcast
+// state the owner has learned (snooped or piggybacked). Nodes outside the
+// view are invisible and carry the lowest priority, matching the paper's
+// local-view model: Pr'(v) = Pr(v) for visible v, (0, id(v)) otherwise.
+type Local struct {
+	// Owner is the node whose view this is.
+	Owner int
+	// G holds the view's edges on the global vertex numbering.
+	G *graph.Graph
+	// Visible marks the members of Nk(owner).
+	Visible []bool
+	// Pr is the priority of every node under this view.
+	Pr []Priority
+	// Hops records the k used to build the view; 0 means global.
+	Hops int
+}
+
+// NewLocal builds the k-hop local view of owner over g, starting from the
+// given base (un-visited) priorities. k <= 0 yields the global view.
+func NewLocal(g *graph.Graph, owner, k int, base []Priority) *Local {
+	sub, visible := g.LocalView(owner, k)
+	pr := make([]Priority, g.N())
+	for v := range pr {
+		if visible[v] {
+			pr[v] = base[v]
+		} else {
+			pr[v] = Priority{Status: Invisible, ID: v}
+		}
+	}
+	return &Local{
+		Owner:   owner,
+		G:       sub,
+		Visible: visible,
+		Pr:      pr,
+		Hops:    k,
+	}
+}
+
+// MarkVisited records that node v is known to have forwarded the broadcast
+// packet. Invisible nodes are ignored: the owner knows no links for them, so
+// they cannot participate in replacement paths anyway.
+func (lv *Local) MarkVisited(v int) {
+	if v < 0 || v >= len(lv.Pr) || !lv.Visible[v] {
+		return
+	}
+	if lv.Pr[v].Status < Visited {
+		lv.Pr[v].Status = Visited
+	}
+}
+
+// MarkDesignated records that node v was designated as a forward node by
+// some neighbor. A node already known as visited keeps its higher status.
+func (lv *Local) MarkDesignated(v int) {
+	if v < 0 || v >= len(lv.Pr) || !lv.Visible[v] {
+		return
+	}
+	if lv.Pr[v].Status < Designated {
+		lv.Pr[v].Status = Designated
+	}
+}
+
+// IsVisited reports whether v is marked visited under this view.
+func (lv *Local) IsVisited(v int) bool {
+	return v >= 0 && v < len(lv.Pr) && lv.Pr[v].Status == Visited
+}
+
+// Neighbors returns the owner's neighbor list under the view (which equals
+// its true neighbor list whenever the view has at least one hop).
+func (lv *Local) Neighbors() []int {
+	return lv.G.Neighbors(lv.Owner)
+}
+
+// TwoHopTargets returns N2(owner) \ (N(owner) ∪ {owner}): the 2-hop
+// neighbors that neighbor-designating protocols must cover. The result is in
+// ascending order.
+func (lv *Local) TwoHopTargets() []int {
+	n := lv.G.N()
+	seen := make([]bool, n)
+	seen[lv.Owner] = true
+	lv.G.ForEachNeighbor(lv.Owner, func(u int) {
+		seen[u] = true
+	})
+	var out []int
+	lv.G.ForEachNeighbor(lv.Owner, func(u int) {
+		lv.G.ForEachNeighbor(u, func(w int) {
+			if !seen[w] {
+				seen[w] = true
+				out = append(out, w)
+			}
+		})
+	})
+	// The nested iteration appends in neighbor order, not globally sorted.
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	// Insertion sort: slices here are tiny (bounded by the 2-hop
+	// neighborhood) and usually nearly sorted.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

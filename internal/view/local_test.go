@@ -1,0 +1,169 @@
+package view
+
+import (
+	"testing"
+
+	"adhocbcast/internal/graph"
+)
+
+// pathGraph builds 0-1-2-...-(n-1).
+func pathGraph(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g
+}
+
+func TestNewLocalInvisiblePriorities(t *testing.T) {
+	g := pathGraph(t, 6)
+	base := BasePriorities(g, MetricID)
+	lv := NewLocal(g, 0, 2, base)
+	for v := 0; v < 6; v++ {
+		wantVisible := v <= 2
+		if lv.Visible[v] != wantVisible {
+			t.Fatalf("Visible[%d] = %v, want %v", v, lv.Visible[v], wantVisible)
+		}
+		if wantVisible && lv.Pr[v] != base[v] {
+			t.Fatalf("visible node %d priority changed", v)
+		}
+		if !wantVisible && lv.Pr[v].Status != Invisible {
+			t.Fatalf("invisible node %d has status %v", v, lv.Pr[v].Status)
+		}
+		if lv.Pr[v].ID != v {
+			t.Fatalf("node %d id = %d", v, lv.Pr[v].ID)
+		}
+	}
+	if lv.Owner != 0 || lv.Hops != 2 {
+		t.Fatalf("Owner/Hops = %d/%d", lv.Owner, lv.Hops)
+	}
+}
+
+// TestLocalPrioritiesNoMoreThanGlobal checks the local-view axiom of Section
+// 2: Pr'(v) <= Pr(v) for every node.
+func TestLocalPrioritiesNoMoreThanGlobal(t *testing.T) {
+	g := pathGraph(t, 8)
+	base := BasePriorities(g, MetricNCR)
+	for owner := 0; owner < 8; owner++ {
+		lv := NewLocal(g, owner, 2, base)
+		for v := 0; v < 8; v++ {
+			if lv.Pr[v].Greater(base[v]) {
+				t.Fatalf("owner %d: local priority of %d exceeds global", owner, v)
+			}
+		}
+	}
+}
+
+func TestMarkVisited(t *testing.T) {
+	g := pathGraph(t, 6)
+	base := BasePriorities(g, MetricID)
+	lv := NewLocal(g, 2, 2, base)
+
+	lv.MarkVisited(3)
+	if !lv.IsVisited(3) {
+		t.Fatal("MarkVisited(3) had no effect")
+	}
+	if lv.Pr[3].Status != Visited {
+		t.Fatalf("status = %v", lv.Pr[3].Status)
+	}
+
+	// Invisible node (distance 3 > 2): mark must be ignored.
+	lv.MarkVisited(5)
+	if lv.IsVisited(5) {
+		t.Fatal("invisible node marked visited")
+	}
+
+	// Out-of-range ids must be ignored without panicking.
+	lv.MarkVisited(-1)
+	lv.MarkVisited(100)
+}
+
+func TestMarkDesignated(t *testing.T) {
+	g := pathGraph(t, 5)
+	base := BasePriorities(g, MetricID)
+	lv := NewLocal(g, 2, 2, base)
+
+	lv.MarkDesignated(1)
+	if lv.Pr[1].Status != Designated {
+		t.Fatalf("status = %v, want designated", lv.Pr[1].Status)
+	}
+
+	// Designation must never demote a visited node.
+	lv.MarkVisited(3)
+	lv.MarkDesignated(3)
+	if lv.Pr[3].Status != Visited {
+		t.Fatalf("designation demoted a visited node to %v", lv.Pr[3].Status)
+	}
+
+	// Visiting a designated node promotes it.
+	lv.MarkVisited(1)
+	if lv.Pr[1].Status != Visited {
+		t.Fatalf("visited mark did not promote designated node: %v", lv.Pr[1].Status)
+	}
+
+	lv.MarkDesignated(-2)
+	lv.MarkDesignated(99)
+}
+
+func TestNeighbors(t *testing.T) {
+	g := pathGraph(t, 5)
+	base := BasePriorities(g, MetricID)
+	lv := NewLocal(g, 2, 2, base)
+	nbrs := lv.Neighbors()
+	if len(nbrs) != 2 || nbrs[0] != 1 || nbrs[1] != 3 {
+		t.Fatalf("Neighbors() = %v", nbrs)
+	}
+}
+
+func TestTwoHopTargets(t *testing.T) {
+	// Star of node 0 with arms 1-4, plus leaves: 1-5, 2-6, 2-7, and a
+	// redundant link 5-0? no: keep 2-hop targets {5,6,7}.
+	g := graph.New(8)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 5}, {2, 6}, {2, 7}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := BasePriorities(g, MetricID)
+	lv := NewLocal(g, 0, 2, base)
+	got := lv.TwoHopTargets()
+	want := []int{5, 6, 7}
+	if len(got) != len(want) {
+		t.Fatalf("TwoHopTargets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TwoHopTargets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTwoHopTargetsExcludesNeighborsAndSelf(t *testing.T) {
+	// Triangle: everything is within one hop, no 2-hop targets.
+	g := graph.New(3)
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 2}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lv := NewLocal(g, 0, 2, BasePriorities(g, MetricID))
+	if got := lv.TwoHopTargets(); len(got) != 0 {
+		t.Fatalf("TwoHopTargets = %v, want empty", got)
+	}
+}
+
+func TestGlobalViewAllVisible(t *testing.T) {
+	g := pathGraph(t, 7)
+	lv := NewLocal(g, 3, 0, BasePriorities(g, MetricID))
+	for v := 0; v < 7; v++ {
+		if !lv.Visible[v] {
+			t.Fatalf("node %d invisible in global view", v)
+		}
+	}
+	if lv.G.M() != g.M() {
+		t.Fatalf("global view lost edges: %d vs %d", lv.G.M(), g.M())
+	}
+}
