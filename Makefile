@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench figures table1 sample fuzz clean
+.PHONY: all build test test-race bench bench-full figures table1 sample fuzz clean
 
 all: build test
 
@@ -11,12 +11,23 @@ build:
 	$(GO) vet ./...
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/stats/ ./internal/experiments/ ./internal/sim/
 
 test-race:
 	$(GO) test -race ./...
 
+# Headline benchmarks, committed as a machine-readable report. The previous
+# report (if any) is embedded under "previous" for before/after comparison.
+BENCHES = BenchmarkFigure10Timing|BenchmarkCoverageConditions|BenchmarkReplicationPoint
 bench:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run='^$$' -bench='$(BENCHES)' -benchmem . \
+		| /tmp/benchjson -old BENCH_results.json -out BENCH_results.json
+
+# Every benchmark in the repository, human-readable.
+bench-full:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every evaluation figure (moderate replication).

@@ -23,6 +23,7 @@ import (
 	"adhocbcast/internal/hello"
 	"adhocbcast/internal/protocol"
 	"adhocbcast/internal/sim"
+	"adhocbcast/internal/stats"
 	"adhocbcast/internal/view"
 )
 
@@ -49,6 +50,7 @@ func benchBroadcast(b *testing.B, mk func() sim.Protocol, cfg sim.Config, n int,
 	b.Helper()
 	net := benchNetwork(b, n, d, 1)
 	totalForward := 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
@@ -67,6 +69,7 @@ func benchBroadcast(b *testing.B, mk func() sim.Protocol, cfg sim.Config, n int,
 // BenchmarkFigure9SampleNetwork regenerates the Figure 9 sample scenario:
 // one 100-node network, six broadcasts (three timings x two view depths).
 func BenchmarkFigure9SampleNetwork(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.NewSample(100, 6, int64(i+1)); err != nil {
 			b.Fatal(err)
@@ -220,6 +223,34 @@ func BenchmarkTable1Classification(b *testing.B) {
 	}
 }
 
+// BenchmarkReplicationPoint measures one full Figure 10 data point — four
+// variants, a fixed 16-replication budget — through the replication engine,
+// serial and parallel. This is the replication-bound shape of a figure sweep:
+// the four variants share workloads through the cache, and raising the worker
+// count must leave the output bit-identical (asserted by the experiments
+// package tests; here only the cost is measured).
+func BenchmarkReplicationPoint(b *testing.B) {
+	base := experiments.RunConfig{
+		Sizes:       []int{60},
+		Degrees:     []int{6},
+		Replicate:   stats.ReplicateOptions{MinRuns: 16, MaxRuns: 16, RelTol: 1e-9},
+		Seed:        12,
+		Parallelism: 1,
+	}
+	for _, workers := range []int{1, 2, 4} {
+		rc := base
+		rc.ReplicateParallelism = workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Figure10(rc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCoverageConditions contrasts the evaluation cost of the generic
 // (O(D^3)) and strong (O(D^2)) conditions as density grows (the complexity
 // discussion of Section 6).
@@ -242,6 +273,7 @@ func BenchmarkCoverageConditions(b *testing.B) {
 		for _, c := range conditions {
 			c := c
 			b.Run(fmt.Sprintf("%s/d=%g", c.name, d), func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					c.eval(views[i%len(views)])
 				}
@@ -261,6 +293,7 @@ func BenchmarkLocalViewConstruction(b *testing.B) {
 			name = "global"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				view.NewLocal(net.G, i%100, k, base)
 			}
@@ -274,6 +307,7 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 	for _, n := range []int{20, 50, 100} {
 		n := n
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			rng := rand.New(rand.NewSource(4))
 			for i := 0; i < b.N; i++ {
 				if _, err := geo.Generate(geo.Config{N: n, AvgDegree: 6}, rng); err != nil {
@@ -306,6 +340,7 @@ func BenchmarkMaxMinPath(b *testing.B) {
 	if len(jobs) == 0 {
 		b.Skip("no neighbor pairs")
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		j := jobs[i%len(jobs)]
@@ -317,16 +352,19 @@ func BenchmarkMaxMinPath(b *testing.B) {
 func BenchmarkGraphPrimitives(b *testing.B) {
 	net := benchNetwork(b, 100, 18, 6)
 	b.Run("HasEdge", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			net.G.HasEdge(i%100, (i*7)%100)
 		}
 	})
 	b.Run("BFSDistances", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			net.G.BFSDistances(i % 100)
 		}
 	})
 	b.Run("NCR", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			view.NCR(net.G, i%100)
 		}
@@ -340,6 +378,7 @@ func BenchmarkHelloRounds(b *testing.B) {
 	for _, k := range []int{1, 2, 3} {
 		k := k
 		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				p := hello.New(net.G)
 				p.RunRounds(k)
@@ -353,11 +392,13 @@ func BenchmarkHelloRounds(b *testing.B) {
 func BenchmarkCDS(b *testing.B) {
 	net := benchNetwork(b, 100, 6, 9)
 	b.Run("MarkingProcess", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cds.MarkingProcess(net.G)
 		}
 	})
 	b.Run("GuhaKhuller", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := cds.GuhaKhuller(net.G); err != nil {
 				b.Fatal(err)
@@ -366,6 +407,7 @@ func BenchmarkCDS(b *testing.B) {
 	})
 	marked := cds.MarkingProcess(net.G)
 	b.Run("Reduce", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			cds.Reduce(net.G, marked)
 		}
@@ -376,6 +418,7 @@ func BenchmarkCDS(b *testing.B) {
 // extraction on a dense network.
 func BenchmarkClustering(b *testing.B) {
 	net := benchNetwork(b, 100, 18, 10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c := cluster.LowestID(net.G)
@@ -398,6 +441,7 @@ func BenchmarkUnreliableMAC(b *testing.B) {
 	for _, c := range configs {
 		c := c
 		b.Run(c.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := c.cfg
 				cfg.Seed = int64(i + 1)
@@ -417,6 +461,7 @@ func BenchmarkGreedyCover(b *testing.B) {
 	for v := range views {
 		views[v] = view.NewLocal(net.G, v, 2, base)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		lv := views[i%len(views)]

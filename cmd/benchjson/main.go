@@ -1,0 +1,127 @@
+// Command benchjson converts `go test -bench` output read from stdin into a
+// machine-readable JSON report, so benchmark runs can be committed and
+// compared across commits without scraping text.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | benchjson -out BENCH_results.json
+//	go test -bench=. -benchmem . | benchjson -old BENCH_results.json -out BENCH_results.json
+//
+// With -old, the previous report's results are embedded under "previous" so a
+// committed file carries its own before/after comparison.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Results  []Result `json:"results"`
+	Previous []Result `json:"previous,omitempty"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	old := flag.String("old", "", "previous report whose results to embed under \"previous\"")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var report Report
+	if *old != "" {
+		if data, err := os.ReadFile(*old); err == nil {
+			var prev Report
+			if err := json.Unmarshal(data, &prev); err != nil {
+				return fmt.Errorf("parse %s: %w", *old, err)
+			}
+			report.Previous = prev.Results
+		}
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass through so the human-readable run stays visible
+		if r, ok := parseLine(line); ok {
+			report.Results = append(report.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(report.Results) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkFoo/bar-8   1234   9876 ns/op   42 B/op   7 allocs/op   3.5 forward/op
+//
+// The value-unit pairs after the iteration count are free-form; ns/op, B/op
+// and allocs/op go to dedicated fields, anything else into Metrics.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			r.BytesPerOp = val
+		case "allocs/op":
+			r.AllocsPerOp = val
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = val
+		}
+	}
+	return r, r.NsPerOp > 0
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkFigure10Timing/Static-8   100   1032029 ns/op   1236703 B/op   6700 allocs/op   24.5 forward/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if r.Name != "BenchmarkFigure10Timing/Static-8" || r.Iterations != 100 {
+		t.Fatalf("header parsed wrong: %+v", r)
+	}
+	if r.NsPerOp != 1032029 || r.BytesPerOp != 1236703 || r.AllocsPerOp != 6700 {
+		t.Fatalf("units parsed wrong: %+v", r)
+	}
+	if r.Metrics["forward/op"] != 24.5 {
+		t.Fatalf("custom metric lost: %+v", r.Metrics)
+	}
+}
+
+func TestParseLineRejectsNonBench(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tadhocbcast\t1.2s",
+		"BenchmarkBroken notanumber 12 ns/op",
+		"",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("accepted %q", line)
+		}
+	}
+}

@@ -8,6 +8,8 @@
 //	experiments -table1            # Table 1
 //	experiments -fig 15 -paper     # full ±1% CI criterion (slow)
 //	experiments -ext mobility      # extension experiments and ablations
+//	experiments -all -parallel 4   # parallel replication, identical output
+//	experiments -fig 10 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -15,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"adhocbcast/internal/experiments"
@@ -39,15 +43,42 @@ func run(args []string) error {
 		seed   = fs.Int64("seed", 42, "base workload seed")
 		svgDir = fs.String("svgdir", "", "also write each figure as an SVG chart into this directory")
 		sizes  = fs.String("sizes", "", "comma-separated network sizes (default 20..100)")
+		par    = fs.Int("parallel", 1, "replicates evaluated concurrently per data point (results are identical for any value)")
+		cpu    = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		mem    = fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpu != "" {
+		f, err := os.Create(*cpu)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *mem != "" {
+		f, err := os.Create(*mem)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 	if *table1 {
 		fmt.Print(experiments.Table1())
 		return nil
 	}
-	rc := experiments.RunConfig{Seed: *seed}
+	rc := experiments.RunConfig{Seed: *seed, ReplicateParallelism: *par}
 	if *paper {
 		rc.Replicate = experiments.Paper()
 	}

@@ -10,7 +10,8 @@
 package core
 
 import (
-	"adhocbcast/internal/graph"
+	"sort"
+
 	"adhocbcast/internal/view"
 )
 
@@ -27,7 +28,7 @@ import (
 // a lower-priority neighbor may be a path endpoint but never an
 // intermediate.
 func Covered(lv *view.Local) bool {
-	return covered(lv, true)
+	return withEvaluator(lv.G.N(), func(ev *Evaluator) bool { return ev.Covered(lv) })
 }
 
 // CoveredWithoutVisitedUnion is the generic coverage condition evaluated
@@ -37,32 +38,9 @@ func Covered(lv *view.Local) bool {
 // condition's pruning power comes from the visited-union assumption
 // (Figure 6(b) in the paper) — and remains sound, merely more conservative.
 func CoveredWithoutVisitedUnion(lv *view.Local) bool {
-	return covered(lv, false)
-}
-
-func covered(lv *view.Local, mergeVisited bool) bool {
-	v := lv.Owner
-	nbrs := lv.G.Neighbors(v)
-	if len(nbrs) <= 1 {
-		return true
-	}
-	inH, uf := higherComponents(lv, mergeVisited)
-
-	comps := make([][]int, len(nbrs))
-	for i, u := range nbrs {
-		comps[i] = componentSet(lv, inH, uf, u)
-	}
-	for i := 0; i < len(nbrs); i++ {
-		for j := i + 1; j < len(nbrs); j++ {
-			if lv.G.HasEdge(nbrs[i], nbrs[j]) {
-				continue
-			}
-			if !intersectSorted(comps[i], comps[j]) {
-				return false
-			}
-		}
-	}
-	return true
+	return withEvaluator(lv.G.N(), func(ev *Evaluator) bool {
+		return ev.CoveredWithoutVisitedUnion(lv)
+	})
 }
 
 // StrongCovered evaluates the strong coverage condition: v may take
@@ -71,12 +49,7 @@ func covered(lv *view.Local, mergeVisited bool) bool {
 // component or adjacent to it). It implies the generic condition and is the
 // cheaper O(D^2) check used by Rule-k and LENWB style protocols.
 func StrongCovered(lv *view.Local) bool {
-	nbrs := lv.G.Neighbors(lv.Owner)
-	if len(nbrs) == 0 {
-		return true
-	}
-	inH, uf := higherComponents(lv, true)
-	return dominatingComponent(lv, nbrs, inH, uf)
+	return withEvaluator(lv.G.N(), func(ev *Evaluator) bool { return ev.StrongCovered(lv) })
 }
 
 // StrongCoveredRestricted is the strong coverage condition with the
@@ -87,142 +60,15 @@ func StrongCovered(lv *view.Local) bool {
 // coverage nodes must be self-connected, i.e. connected using only nodes of
 // the restricted set.
 func StrongCoveredRestricted(lv *view.Local, maxDist int) bool {
-	v := lv.Owner
-	nbrs := lv.G.Neighbors(v)
-	if len(nbrs) == 0 {
-		return true
-	}
-	prv := lv.Pr[v]
-	n := lv.G.N()
-	dist := lv.G.BFSDistances(v)
-	inH := make([]bool, n)
-	for x := 0; x < n; x++ {
-		if x != v && lv.Visible[x] && dist[x] >= 1 && dist[x] <= maxDist && lv.Pr[x].Greater(prv) {
-			inH[x] = true
-		}
-	}
-	uf := graph.NewUnionFind(n)
-	firstVisited := -1
-	for x := 0; x < n; x++ {
-		if !inH[x] {
-			continue
-		}
-		if lv.Pr[x].Status == view.Visited {
-			if firstVisited < 0 {
-				firstVisited = x
-			} else {
-				uf.Union(firstVisited, x)
-			}
-		}
-		lv.G.ForEachNeighbor(x, func(y int) {
-			if y > x && inH[y] {
-				uf.Union(x, y)
-			}
-		})
-	}
-	return dominatingComponent(lv, nbrs, inH, uf)
+	return withEvaluator(lv.G.N(), func(ev *Evaluator) bool {
+		return ev.StrongCoveredRestricted(lv, maxDist)
+	})
 }
 
-// dominatingComponent reports whether some single component of the
-// restricted set dominates nbrs.
-func dominatingComponent(lv *view.Local, nbrs []int, inH []bool, uf *graph.UnionFind) bool {
-	idx := make(map[int]int, len(nbrs))
-	for i, u := range nbrs {
-		idx[u] = i
-	}
-	covered := make(map[int]*graph.Bitset)
-	mark := func(root, nbr int) {
-		bs := covered[root]
-		if bs == nil {
-			bs = graph.NewBitset(len(nbrs))
-			covered[root] = bs
-		}
-		bs.Set(nbr)
-	}
-	for x := 0; x < lv.G.N(); x++ {
-		if !inH[x] {
-			continue
-		}
-		root := uf.Find(x)
-		if i, ok := idx[x]; ok {
-			mark(root, i)
-		}
-		lv.G.ForEachNeighbor(x, func(y int) {
-			if i, ok := idx[y]; ok {
-				mark(root, i)
-			}
-		})
-	}
-	for _, bs := range covered {
-		if bs.Count() == len(nbrs) {
-			return true
-		}
-	}
-	return false
-}
-
-// higherComponents computes membership of the higher-priority subgraph H
-// (every visible node other than the owner with priority above the owner's)
-// and a union-find contracting H's connected components. When mergeVisited
-// is set, all visited nodes count as one component (they are connected
-// through the source under any view).
-func higherComponents(lv *view.Local, mergeVisited bool) ([]bool, *graph.UnionFind) {
-	v := lv.Owner
-	prv := lv.Pr[v]
-	n := lv.G.N()
-	inH := make([]bool, n)
-	for x := 0; x < n; x++ {
-		if x != v && lv.Visible[x] && lv.Pr[x].Greater(prv) {
-			inH[x] = true
-		}
-	}
-	uf := graph.NewUnionFind(n)
-	firstVisited := -1
-	for x := 0; x < n; x++ {
-		if !inH[x] {
-			continue
-		}
-		if mergeVisited && lv.Pr[x].Status == view.Visited {
-			if firstVisited < 0 {
-				firstVisited = x
-			} else {
-				uf.Union(firstVisited, x)
-			}
-		}
-		lv.G.ForEachNeighbor(x, func(y int) {
-			if y > x && inH[y] {
-				uf.Union(x, y)
-			}
-		})
-	}
-	return inH, uf
-}
-
-// componentSet returns the sorted set of H-component roots through which
-// node u can be reached: u's own component if u is in H, otherwise the
-// components of u's H-neighbors.
-func componentSet(lv *view.Local, inH []bool, uf *graph.UnionFind, u int) []int {
-	var roots []int
-	if inH[u] {
-		roots = append(roots, uf.Find(u))
-	} else {
-		lv.G.ForEachNeighbor(u, func(y int) {
-			if inH[y] {
-				roots = append(roots, uf.Find(y))
-			}
-		})
-	}
-	sortDedup(&roots)
-	return roots
-}
-
+// sortDedup sorts a in place and removes duplicates.
 func sortDedup(a *[]int) {
 	s := *a
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	sort.Ints(s)
 	out := s[:0]
 	for i, x := range s {
 		if i == 0 || x != s[i-1] {

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"sync"
+
+	"adhocbcast/internal/graph"
+	"adhocbcast/internal/view"
+)
+
+// Evaluator evaluates the coverage conditions with reusable scratch state.
+// The stateless entry points (Covered, StrongCovered, ...) allocate a fresh
+// H-membership slice, union-find, component-root map and per-neighbor root
+// slices on every call; inside a simulation those conditions run once per
+// node decision per receipt, so the churn dominates the allocation profile.
+// A simulation holds one Evaluator (see sim.Network.Evaluator) and reuses
+// its buffers across all node decisions of the run.
+//
+// An Evaluator is NOT safe for concurrent use; concurrent simulations must
+// each hold their own. Every evaluation leaves the scratch fully neutral, so
+// results never depend on what the evaluator computed before — the
+// equivalence with the stateless functions is asserted by tests.
+type Evaluator struct {
+	n     int
+	inH   []bool
+	uf    *graph.UnionFind
+	comps [][]int // per-neighbor H-component root sets
+	dist  []int   // BFS scratch for the restricted condition
+	queue []int
+
+	// Dense replacement for the root -> covered-neighbor map of the
+	// dominating-component check: nbrIdx inverts the neighbor list, rowOf
+	// maps a component root to an active coverage row, rows/rowCnt hold the
+	// per-root coverage bitsets and their cardinalities, and touched lists
+	// the roots to clean up afterwards.
+	nbrIdx  []int
+	rowOf   []int
+	rows    []*graph.Bitset
+	rowCnt  []int
+	touched []int
+}
+
+// NewEvaluator returns an evaluator sized for graphs of up to n nodes. It
+// grows automatically if handed a larger view.
+func NewEvaluator(n int) *Evaluator {
+	ev := &Evaluator{}
+	ev.ensure(n)
+	return ev
+}
+
+func (ev *Evaluator) ensure(n int) {
+	if n <= ev.n {
+		return
+	}
+	ev.n = n
+	ev.inH = make([]bool, n)
+	ev.uf = graph.NewUnionFind(n)
+	ev.dist = make([]int, n)
+	ev.queue = make([]int, 0, n)
+	ev.nbrIdx = make([]int, n)
+	ev.rowOf = make([]int, n)
+	for i := 0; i < n; i++ {
+		ev.nbrIdx[i] = -1
+		ev.rowOf[i] = -1
+	}
+	ev.rows = nil
+	ev.rowCnt = nil
+	ev.touched = ev.touched[:0]
+}
+
+// Covered is the generic coverage condition of Section 3 (see the package
+// function Covered) evaluated with this evaluator's scratch.
+func (ev *Evaluator) Covered(lv *view.Local) bool {
+	return ev.covered(lv, true)
+}
+
+// CoveredWithoutVisitedUnion is the ablation variant without the
+// visited-nodes-are-connected assumption.
+func (ev *Evaluator) CoveredWithoutVisitedUnion(lv *view.Local) bool {
+	return ev.covered(lv, false)
+}
+
+func (ev *Evaluator) covered(lv *view.Local, mergeVisited bool) bool {
+	v := lv.Owner
+	nbrs := lv.G.Neighbors(v)
+	if len(nbrs) <= 1 {
+		return true
+	}
+	ev.ensure(lv.G.N())
+	ev.higherComponents(lv, mergeVisited)
+
+	for len(ev.comps) < len(nbrs) {
+		ev.comps = append(ev.comps, nil)
+	}
+	for i, u := range nbrs {
+		ev.comps[i] = ev.componentSet(lv, u, ev.comps[i][:0])
+	}
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			if lv.G.HasEdge(nbrs[i], nbrs[j]) {
+				continue
+			}
+			if !intersectSorted(ev.comps[i], ev.comps[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// StrongCovered is the strong coverage condition of Section 6 evaluated with
+// this evaluator's scratch.
+func (ev *Evaluator) StrongCovered(lv *view.Local) bool {
+	nbrs := lv.G.Neighbors(lv.Owner)
+	if len(nbrs) == 0 {
+		return true
+	}
+	ev.ensure(lv.G.N())
+	ev.higherComponents(lv, true)
+	return ev.dominating(lv, nbrs)
+}
+
+// StrongCoveredRestricted is the strong coverage condition with coverage
+// nodes restricted to maxDist hops of the owner, evaluated with this
+// evaluator's scratch.
+func (ev *Evaluator) StrongCoveredRestricted(lv *view.Local, maxDist int) bool {
+	v := lv.Owner
+	nbrs := lv.G.Neighbors(v)
+	if len(nbrs) == 0 {
+		return true
+	}
+	ev.ensure(lv.G.N())
+	prv := lv.Pr[v]
+	n := lv.G.N()
+	ev.bfsDistances(lv.G, v, n)
+	for x := 0; x < n; x++ {
+		ev.inH[x] = x != v && lv.Visible[x] &&
+			ev.dist[x] >= 1 && ev.dist[x] <= maxDist && lv.Pr[x].Greater(prv)
+	}
+	ev.contract(lv, n, true)
+	return ev.dominating(lv, nbrs)
+}
+
+// higherComponents fills ev.inH with the membership of the higher-priority
+// subgraph H and contracts H's connected components into ev.uf.
+func (ev *Evaluator) higherComponents(lv *view.Local, mergeVisited bool) {
+	v := lv.Owner
+	prv := lv.Pr[v]
+	n := lv.G.N()
+	for x := 0; x < n; x++ {
+		ev.inH[x] = x != v && lv.Visible[x] && lv.Pr[x].Greater(prv)
+	}
+	ev.contract(lv, n, mergeVisited)
+}
+
+// contract unions H members along view edges (and all visited members into
+// one component when mergeVisited is set), resetting ev.uf first.
+func (ev *Evaluator) contract(lv *view.Local, n int, mergeVisited bool) {
+	ev.uf.Reset()
+	firstVisited := -1
+	for x := 0; x < n; x++ {
+		if !ev.inH[x] {
+			continue
+		}
+		if mergeVisited && lv.Pr[x].Status == view.Visited {
+			if firstVisited < 0 {
+				firstVisited = x
+			} else {
+				ev.uf.Union(firstVisited, x)
+			}
+		}
+		lv.G.ForEachNeighbor(x, func(y int) {
+			if y > x && ev.inH[y] {
+				ev.uf.Union(x, y)
+			}
+		})
+	}
+}
+
+// componentSet appends the sorted, deduplicated H-component roots through
+// which node u can be reached to dst and returns it.
+func (ev *Evaluator) componentSet(lv *view.Local, u int, dst []int) []int {
+	if ev.inH[u] {
+		dst = append(dst, ev.uf.Find(u))
+	} else {
+		lv.G.ForEachNeighbor(u, func(y int) {
+			if ev.inH[y] {
+				dst = append(dst, ev.uf.Find(y))
+			}
+		})
+	}
+	sortDedup(&dst)
+	return dst
+}
+
+// dominating reports whether some single component of the set in ev.inH /
+// ev.uf dominates nbrs (every neighbor in the component or adjacent to it).
+// It replaces the map-based bookkeeping of the stateless path with dense
+// rows indexed by component root, counting coverage incrementally so a full
+// row short-circuits without a final counting pass.
+func (ev *Evaluator) dominating(lv *view.Local, nbrs []int) bool {
+	n := lv.G.N()
+	for i, u := range nbrs {
+		ev.nbrIdx[u] = i
+	}
+	full := false
+	mark := func(root, i int) {
+		r := ev.rowOf[root]
+		if r < 0 {
+			r = len(ev.touched)
+			if r == len(ev.rows) {
+				ev.rows = append(ev.rows, graph.NewBitset(ev.n))
+				ev.rowCnt = append(ev.rowCnt, 0)
+			}
+			ev.rows[r].Reset()
+			ev.rowCnt[r] = 0
+			ev.rowOf[root] = r
+			ev.touched = append(ev.touched, root)
+		}
+		if !ev.rows[r].Has(i) {
+			ev.rows[r].Set(i)
+			ev.rowCnt[r]++
+			if ev.rowCnt[r] == len(nbrs) {
+				full = true
+			}
+		}
+	}
+	for x := 0; x < n && !full; x++ {
+		if !ev.inH[x] {
+			continue
+		}
+		root := ev.uf.Find(x)
+		if i := ev.nbrIdx[x]; i >= 0 {
+			mark(root, i)
+		}
+		lv.G.ForEachNeighbor(x, func(y int) {
+			if i := ev.nbrIdx[y]; i >= 0 {
+				mark(root, i)
+			}
+		})
+	}
+	for _, u := range nbrs {
+		ev.nbrIdx[u] = -1
+	}
+	for _, root := range ev.touched {
+		ev.rowOf[root] = -1
+	}
+	ev.touched = ev.touched[:0]
+	return full
+}
+
+// bfsDistances fills ev.dist[:n] with hop distances from src over g (-1 for
+// unreachable nodes) without allocating.
+func (ev *Evaluator) bfsDistances(g *graph.Graph, src, n int) {
+	for i := 0; i < n; i++ {
+		ev.dist[i] = -1
+	}
+	ev.dist[src] = 0
+	queue := append(ev.queue[:0], src)
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		g.ForEachNeighbor(x, func(y int) {
+			if ev.dist[y] < 0 {
+				ev.dist[y] = ev.dist[x] + 1
+				queue = append(queue, y)
+			}
+		})
+	}
+}
+
+// evalPool backs the stateless package functions so one-shot callers also
+// avoid rebuilding scratch per call.
+var evalPool = sync.Pool{New: func() any { return &Evaluator{} }}
+
+func withEvaluator(n int, f func(ev *Evaluator) bool) bool {
+	ev := evalPool.Get().(*Evaluator)
+	ev.ensure(n)
+	ok := f(ev)
+	evalPool.Put(ev)
+	return ok
+}

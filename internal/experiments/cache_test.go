@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"adhocbcast/internal/geo"
+)
+
+// TestCacheMatchesDirectGeneration pins the cache to the exact sequence the
+// uncached path used: seed the generator, generate, then draw the source from
+// the same stream. Any divergence would silently change every figure.
+func TestCacheMatchesDirectGeneration(t *testing.T) {
+	c := newWorkloadCache(16)
+	for _, key := range []workloadKey{
+		{seed: 101, n: 20, d: 6},
+		{seed: 202, n: 30, d: 18},
+		{seed: 303, n: 50, d: 6},
+	} {
+		w, err := c.get(key)
+		if err != nil {
+			t.Fatalf("get(%+v): %v", key, err)
+		}
+		rng := rand.New(rand.NewSource(key.seed))
+		net, err := geo.Generate(geo.Config{N: key.n, AvgDegree: float64(key.d)}, rng)
+		if err != nil {
+			t.Fatalf("direct generate(%+v): %v", key, err)
+		}
+		source := rng.Intn(key.n)
+		if w.source != source {
+			t.Fatalf("key %+v: cached source %d, direct %d", key, w.source, source)
+		}
+		if w.net.G.N() != net.G.N() {
+			t.Fatalf("key %+v: node counts differ", key)
+		}
+		for v := 0; v < net.G.N(); v++ {
+			if !reflect.DeepEqual(w.net.G.Neighbors(v), net.G.Neighbors(v)) {
+				t.Fatalf("key %+v: adjacency of %d differs", key, v)
+			}
+		}
+		if !reflect.DeepEqual(w.net.Pos, net.Pos) || w.net.Range != net.Range {
+			t.Fatalf("key %+v: geometry differs", key)
+		}
+	}
+}
+
+// TestCacheHitReturnsSamePointer verifies a second get is a genuine cache hit
+// (the shared, read-only network) rather than a regeneration.
+func TestCacheHitReturnsSamePointer(t *testing.T) {
+	c := newWorkloadCache(16)
+	key := workloadKey{seed: 7, n: 20, d: 6}
+	a, err := c.get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.net != b.net {
+		t.Fatal("second get regenerated the network")
+	}
+}
+
+// TestCacheEvictionBounds fills a small cache well past capacity and checks
+// the entry count stays bounded while results stay correct.
+func TestCacheEvictionBounds(t *testing.T) {
+	c := newWorkloadCache(8)
+	for i := 0; i < 40; i++ {
+		key := workloadKey{seed: int64(1000 + i), n: 20, d: 6}
+		w, err := c.get(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.net == nil || w.source < 0 || w.source >= 20 {
+			t.Fatalf("bad workload after eviction churn: %+v", w)
+		}
+		if got := c.len(); got > 8 {
+			t.Fatalf("cache grew past capacity: %d entries", got)
+		}
+	}
+	// Evicted keys regenerate to the identical workload.
+	key := workloadKey{seed: 1000, n: 20, d: 6}
+	w, err := c.get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(key.seed))
+	net, err := geo.Generate(geo.Config{N: key.n, AvgDegree: 6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.source != rng.Intn(key.n) || !reflect.DeepEqual(w.net.Pos, net.Pos) {
+		t.Fatal("regenerated workload differs from original")
+	}
+}
+
+// TestCacheConcurrentAccess hammers one small cache from many goroutines over
+// overlapping keys; every goroutine must observe the deterministic workload.
+// Run under -race this also exercises the locking discipline.
+func TestCacheConcurrentAccess(t *testing.T) {
+	c := newWorkloadCache(8)
+	want := map[workloadKey]int{}
+	for i := 0; i < 12; i++ {
+		key := workloadKey{seed: int64(i), n: 20, d: 6}
+		rng := rand.New(rand.NewSource(key.seed))
+		if _, err := geo.Generate(geo.Config{N: key.n, AvgDegree: 6}, rng); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = rng.Intn(key.n)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 24; i++ {
+				key := workloadKey{seed: int64((g + i) % 12), n: 20, d: 6}
+				w, err := c.get(key)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if w.source != want[key] {
+					t.Errorf("key %+v: source %d, want %d", key, w.source, want[key])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheGenerationError checks that an impossible configuration surfaces
+// its error to every requester instead of caching a zero workload silently.
+func TestCacheGenerationError(t *testing.T) {
+	c := newWorkloadCache(4)
+	key := workloadKey{seed: 1, n: 2, d: 30} // degree unreachable with 2 nodes
+	if _, err := c.get(key); err == nil {
+		t.Fatal("expected generation error")
+	}
+	if _, err := c.get(key); err == nil {
+		t.Fatal("cached entry lost the error")
+	}
+}

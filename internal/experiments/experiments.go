@@ -9,11 +9,9 @@ package experiments
 import (
 	"fmt"
 	"hash/fnv"
-	"math/rand"
 	"runtime"
 	"sync"
 
-	"adhocbcast/internal/geo"
 	"adhocbcast/internal/sim"
 	"adhocbcast/internal/stats"
 )
@@ -34,6 +32,15 @@ type RunConfig struct {
 	// (default GOMAXPROCS). Results are deterministic regardless: every
 	// point's workloads derive from (Seed, n, d, replication) alone.
 	Parallelism int
+	// ReplicateParallelism bounds the number of replicates evaluated
+	// concurrently within one data point (default 1 = serial). This is the
+	// knob that splits the concurrency budget between points and
+	// replicates: a figure sweep runs up to Parallelism points at once,
+	// each running up to ReplicateParallelism replicates at once. Results
+	// are bit-identical to the serial path for any setting (see
+	// stats.RunUntilCIParallel); raise it when a run is replication-bound —
+	// few points, the paper's ±1% criterion — rather than point-bound.
+	ReplicateParallelism int
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -58,7 +65,20 @@ func (c RunConfig) withDefaults() RunConfig {
 	if c.Parallelism <= 0 {
 		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if c.ReplicateParallelism <= 0 {
+		c.ReplicateParallelism = 1
+	}
 	return c
+}
+
+// replicate runs one data point's replication loop through the serial or
+// parallel engine according to ReplicateParallelism. Both paths produce
+// bit-identical summaries for the same sample function.
+func (c RunConfig) replicate(sample func(i int) (float64, error)) (stats.Summary, error) {
+	if c.ReplicateParallelism > 1 {
+		return stats.RunUntilCIParallel(c.Replicate, c.ReplicateParallelism, sample)
+	}
+	return stats.RunUntilCI(c.Replicate, sample)
 }
 
 // Paper returns the paper's replication criterion: repeat until the 90%
@@ -121,20 +141,19 @@ type variant struct {
 }
 
 // measure averages the forward-node count of one variant at one (n, d)
-// point, generating a fresh connected network and random source per
-// replication. Replication i uses the same workload for every variant.
+// point. Replication i uses the same workload for every variant: the
+// connected network and random source come from the shared workload cache,
+// so a panel's variants generate each workload once between them.
 func measure(rc RunConfig, n, d int, v variant) (stats.Summary, error) {
-	return stats.RunUntilCI(rc.Replicate, func(i int) (float64, error) {
+	return rc.replicate(func(i int) (float64, error) {
 		seed := workloadSeed(rc.Seed, n, d, i)
-		rng := rand.New(rand.NewSource(seed))
-		net, err := geo.Generate(geo.Config{N: n, AvgDegree: float64(d)}, rng)
+		w, err := workloads.get(workloadKey{seed: seed, n: n, d: d})
 		if err != nil {
 			return 0, err
 		}
-		source := rng.Intn(n)
 		cfg := v.cfg
 		cfg.Seed = seed + 1
-		res, err := sim.Run(net.G, source, v.make(), cfg)
+		res, err := sim.Run(w.net.G, w.source, v.make(), cfg)
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -71,6 +72,31 @@ func TestMeasureCommonRandomNumbers(t *testing.T) {
 	}
 	if s1.Mean != s2.Mean || s1.N != s2.N {
 		t.Fatalf("same protocol, different stats: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestParallelFigureBitIdentical is the contract of ReplicateParallelism:
+// a figure reproduced with parallel replication is bit-identical — every
+// mean, CI half-width and run count — to the serial reproduction.
+func TestParallelFigureBitIdentical(t *testing.T) {
+	serial := tinyConfig()
+	serial.Parallelism = 1
+	want, err := Figure10(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		par := tinyConfig()
+		par.Parallelism = 2
+		par.ReplicateParallelism = workers
+		got, err := Figure10(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("ReplicateParallelism=%d diverged from serial:\n got %+v\nwant %+v",
+				workers, got, want)
+		}
 	}
 }
 

@@ -12,7 +12,6 @@ import (
 	"adhocbcast/internal/mobility"
 	"adhocbcast/internal/protocol"
 	"adhocbcast/internal/sim"
-	"adhocbcast/internal/stats"
 	"adhocbcast/internal/view"
 )
 
@@ -46,8 +45,11 @@ func Mobility(rc RunConfig) (Figure, error) {
 		for _, v := range variants {
 			s := Series{Label: v.label}
 			for _, step := range steps {
-				sum, err := stats.RunUntilCI(rc.Replicate, func(i int) (float64, error) {
+				sum, err := rc.replicate(func(i int) (float64, error) {
 					seed := workloadSeed(rc.Seed, 100, d, i) ^ int64(step<<32)
+					// No workload cache here: the perturbation consumes the
+					// same rng stream right after generation, so caching the
+					// stale network would change the actual topology.
 					rng := rand.New(rand.NewSource(seed))
 					stale, err := generateNet(rng, 100, d)
 					if err != nil {
@@ -96,14 +98,13 @@ func Reliability(rc RunConfig) (Figure, error) {
 		for _, v := range variants {
 			s := Series{Label: v.label}
 			for _, j := range jitters {
-				sum, err := stats.RunUntilCI(rc.Replicate, func(i int) (float64, error) {
+				sum, err := rc.replicate(func(i int) (float64, error) {
 					seed := workloadSeed(rc.Seed, 100, d, i) ^ int64(j<<40)
-					rng := rand.New(rand.NewSource(seed))
-					net, err := generateNet(rng, 100, d)
+					w, err := workloads.get(workloadKey{seed: seed, n: 100, d: d})
 					if err != nil {
 						return 0, err
 					}
-					res, err := sim.Run(net.G, rng.Intn(100), v.make(), sim.Config{
+					res, err := sim.Run(w.net.G, w.source, v.make(), sim.Config{
 						Hops:       2,
 						Collisions: true,
 						TxJitter:   float64(j),
@@ -200,8 +201,8 @@ func VisitedUnionAblation(rc RunConfig) (Figure, error) {
 			Name:      "Generic-NoUnion",
 			Timing:    protocol.TimingFirstReceipt,
 			Selection: protocol.SelfPruning,
-			Covered: func(_ *sim.Network, st *sim.NodeState) bool {
-				return core.CoveredWithoutVisitedUnion(st.View)
+			Covered: func(net *sim.Network, st *sim.NodeState) bool {
+				return net.Evaluator().CoveredWithoutVisitedUnion(st.View)
 			},
 			SelfPrune: true,
 		})
@@ -242,10 +243,11 @@ func Clustering(rc RunConfig) (Figure, error) {
 		}},
 		{label: "Generic static", size: func(g *graph.Graph) (int, error) {
 			base := view.BasePriorities(g, view.MetricID)
+			ev := core.NewEvaluator(g.N())
 			count := 0
 			for v := 0; v < g.N(); v++ {
 				lv := view.NewLocal(g, v, 2, base)
-				if !core.Covered(lv) {
+				if !ev.Covered(lv) {
 					count++
 				}
 			}
@@ -265,14 +267,13 @@ func Clustering(rc RunConfig) (Figure, error) {
 	for _, m := range methods {
 		s := Series{Label: m.label}
 		for _, d := range degrees {
-			sum, err := stats.RunUntilCI(rc.Replicate, func(i int) (float64, error) {
+			sum, err := rc.replicate(func(i int) (float64, error) {
 				seed := workloadSeed(rc.Seed, 100, d, i)
-				rng := rand.New(rand.NewSource(seed))
-				net, err := generateNet(rng, 100, d)
+				w, err := workloads.get(workloadKey{seed: seed, n: 100, d: d})
 				if err != nil {
 					return 0, err
 				}
-				size, err := m.size(net.G)
+				size, err := m.size(w.net.G)
 				return float64(size), err
 			})
 			if err != nil {
@@ -311,15 +312,14 @@ func Latency(rc RunConfig) (Figure, error) {
 			s := Series{Label: timing.String()}
 			for _, n := range rc.Sizes {
 				n := n
-				sum, err := stats.RunUntilCI(rc.Replicate, func(i int) (float64, error) {
+				sum, err := rc.replicate(func(i int) (float64, error) {
 					seed := workloadSeed(rc.Seed, n, d, i)
-					rng := rand.New(rand.NewSource(seed))
-					net, err := generateNet(rng, n, d)
+					w, err := workloads.get(workloadKey{seed: seed, n: n, d: d})
 					if err != nil {
 						return 0, err
 					}
 					rec := &sim.Recorder{}
-					res, err := sim.Run(net.G, rng.Intn(n), protocol.Generic(timing), sim.Config{
+					res, err := sim.Run(w.net.G, w.source, protocol.Generic(timing), sim.Config{
 						Hops:     2,
 						Seed:     seed + 1,
 						Observer: rec,

@@ -49,6 +49,15 @@ func (uf *UnionFind) Union(x, y int) bool {
 	return true
 }
 
+// Reset returns every element to its own singleton set, allowing the
+// structure to be reused without reallocating.
+func (uf *UnionFind) Reset() {
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.rank[i] = 0
+	}
+}
+
 // Same reports whether x and y are in the same set.
 func (uf *UnionFind) Same(x, y int) bool {
 	return uf.Find(x) == uf.Find(y)

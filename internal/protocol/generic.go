@@ -6,15 +6,21 @@ import (
 )
 
 // CoveredGeneric adapts the generic coverage condition of Section 3 as a
-// CondFunc.
-func CoveredGeneric(_ *sim.Network, st *sim.NodeState) bool {
-	return core.Covered(st.View)
+// CondFunc, evaluated on the run's shared scratch evaluator.
+func CoveredGeneric(net *sim.Network, st *sim.NodeState) bool {
+	if net == nil {
+		return core.Covered(st.View)
+	}
+	return net.Evaluator().Covered(st.View)
 }
 
 // CoveredStrong adapts the strong coverage condition of Section 6 as a
-// CondFunc.
-func CoveredStrong(_ *sim.Network, st *sim.NodeState) bool {
-	return core.StrongCovered(st.View)
+// CondFunc, evaluated on the run's shared scratch evaluator.
+func CoveredStrong(net *sim.Network, st *sim.NodeState) bool {
+	if net == nil {
+		return core.StrongCovered(st.View)
+	}
+	return net.Evaluator().StrongCovered(st.View)
 }
 
 // Flooding returns the blind-flooding baseline: every node forwards the

@@ -33,7 +33,7 @@ func RuleK() sim.Protocol {
 		Name:      "Rule k",
 		Timing:    TimingStatic,
 		Selection: SelfPruning,
-		Covered: func(_ *sim.Network, st *sim.NodeState) bool {
+		Covered: func(net *sim.Network, st *sim.NodeState) bool {
 			maxDist := st.View.Hops - 1
 			if st.View.Hops <= 0 {
 				maxDist = 2 // global view: the paper's 3-hop-style restriction
@@ -41,7 +41,7 @@ func RuleK() sim.Protocol {
 			if maxDist < 1 {
 				maxDist = 1
 			}
-			return core.StrongCoveredRestricted(st.View, maxDist)
+			return net.Evaluator().StrongCoveredRestricted(st.View, maxDist)
 		},
 		SelfPrune: true,
 	})

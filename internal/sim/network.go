@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"adhocbcast/internal/core"
 	"adhocbcast/internal/graph"
 	"adhocbcast/internal/view"
 )
@@ -115,6 +116,7 @@ type Network struct {
 	Source int
 
 	protocol Protocol
+	eval     *core.Evaluator
 	rng      *rand.Rand
 	now      float64
 	seq      int
@@ -283,6 +285,16 @@ func (net *Network) result() Result {
 
 // Now returns the current simulation time.
 func (net *Network) Now() float64 { return net.now }
+
+// Evaluator returns this run's shared coverage-condition evaluator. The
+// simulator is single-threaded per run, so every node decision of the run
+// reuses one set of scratch buffers instead of allocating per evaluation.
+func (net *Network) Evaluator() *core.Evaluator {
+	if net.eval == nil {
+		net.eval = core.NewEvaluator(net.G.N())
+	}
+	return net.eval
+}
 
 // State returns the simulator state of node v.
 func (net *Network) State(v int) *NodeState { return net.nodes[v] }

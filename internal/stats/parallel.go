@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// RunUntilCIParallel is RunUntilCI with the replicates evaluated concurrently
+// on a bounded worker pool. It proceeds in waves: the first wave issues
+// MinRuns replicates, every later wave issues the replicate count the CI
+// formula estimates is still missing, and the loop stops when the tolerance
+// or MaxRuns is reached.
+//
+// The result is bit-identical to RunUntilCI for any worker count: sample(i)
+// must depend only on i (the experiment drivers key every workload by its
+// replication index), completed waves are folded into the accumulator in
+// strict index order, and the serial stopping rule is applied after each
+// accepted sample, so both engines stop at the same replication index with
+// the same accumulator state. Samples computed beyond the stopping index are
+// discarded. The only cost of parallelism is that a wave may compute a few
+// replicates the serial loop would never have issued.
+func RunUntilCIParallel(opts ReplicateOptions, workers int, sample func(i int) (float64, error)) (Summary, error) {
+	opts = opts.withDefaults()
+	if workers <= 1 {
+		return RunUntilCI(opts, sample)
+	}
+	var acc Accumulator
+	var lastErr error
+	next := 0 // next replication index to issue
+	for next < opts.MaxRuns {
+		wave := waveSize(&acc, opts, workers)
+		if wave > opts.MaxRuns-next {
+			wave = opts.MaxRuns - next
+		}
+		xs := make([]float64, wave)
+		errs := make([]error, wave)
+		var cursor int64
+		var wg sync.WaitGroup
+		nw := workers
+		if nw > wave {
+			nw = wave
+		}
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(atomic.AddInt64(&cursor, 1)) - 1
+					if k >= wave {
+						return
+					}
+					xs[k], errs[k] = sample(next + k)
+				}
+			}()
+		}
+		wg.Wait()
+		for k := 0; k < wave; k++ {
+			if errs[k] != nil {
+				lastErr = errs[k]
+				continue
+			}
+			if s, done := fold(&acc, xs[k], opts); done {
+				return s, nil
+			}
+		}
+		next += wave
+	}
+	return finish(&acc, lastErr)
+}
+
+// waveSize picks the next wave's replicate count. Before MinRuns samples are
+// in, it issues what is missing to reach MinRuns; afterwards it estimates the
+// remaining replicates from the CI half-width formula
+//
+//	t * sd / sqrt(N) <= tol * |mean|  =>  N >= (t * sd / (tol * |mean|))^2
+//
+// evaluated at the current running moments. The estimate only affects how
+// much speculative work a wave issues, never the result. At least one full
+// round of workers is issued so the pool stays busy.
+func waveSize(acc *Accumulator, opts ReplicateOptions, workers int) int {
+	wave := opts.MinRuns - acc.N()
+	if acc.N() >= opts.MinRuns {
+		wave = estimateRemaining(acc, opts)
+	}
+	if wave < workers {
+		wave = workers
+	}
+	return wave
+}
+
+func estimateRemaining(acc *Accumulator, opts ReplicateOptions) int {
+	s := acc.Summary()
+	if s.Mean == 0 || s.StdDev == 0 {
+		return 1
+	}
+	z := T90(s.N-1) * s.StdDev / (opts.RelTol * math.Abs(s.Mean))
+	needed := math.Ceil(z * z)
+	if needed > float64(opts.MaxRuns) {
+		needed = float64(opts.MaxRuns)
+	}
+	remaining := int(needed) - acc.N()
+	if remaining < 1 {
+		remaining = 1
+	}
+	return remaining
+}

@@ -1,0 +1,120 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestAccumulatorMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		samples := make([]float64, n)
+		var acc Accumulator
+		for i := range samples {
+			samples[i] = 50 + rng.NormFloat64()*10
+			acc.Add(samples[i])
+		}
+		want := Summarize(samples)
+		got := acc.Summary()
+		if got.N != want.N {
+			t.Fatalf("N = %d, want %d", got.N, want.N)
+		}
+		if math.Abs(got.Mean-want.Mean) > 1e-9*math.Abs(want.Mean) {
+			t.Fatalf("mean = %v, want %v", got.Mean, want.Mean)
+		}
+		if n > 1 && math.Abs(got.StdDev-want.StdDev) > 1e-9*(want.StdDev+1) {
+			t.Fatalf("sd = %v, want %v", got.StdDev, want.StdDev)
+		}
+		if n == 1 && !math.IsInf(got.HalfWidth90, 1) {
+			t.Fatal("single sample must have infinite CI")
+		}
+	}
+	var empty Accumulator
+	if s := empty.Summary(); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty accumulator: %+v", s)
+	}
+}
+
+// deterministicSample returns a sample function whose value depends only on
+// the replication index, like the experiment drivers' workload-seeded
+// replicates.
+func deterministicSample(seed int64, errEvery int) func(i int) (float64, error) {
+	return func(i int) (float64, error) {
+		if errEvery > 0 && i%errEvery == 0 {
+			return 0, errors.New("degenerate workload")
+		}
+		rng := rand.New(rand.NewSource(seed + int64(i)))
+		return 100 + rng.NormFloat64()*15, nil
+	}
+}
+
+func TestRunUntilCIParallelMatchesSerial(t *testing.T) {
+	cases := []struct {
+		name     string
+		opts     ReplicateOptions
+		errEvery int
+	}{
+		{name: "converges", opts: ReplicateOptions{MinRuns: 10, MaxRuns: 2000, RelTol: 0.05}},
+		{name: "tight", opts: ReplicateOptions{MinRuns: 5, MaxRuns: 500, RelTol: 0.01}},
+		{name: "hits-cap", opts: ReplicateOptions{MinRuns: 5, MaxRuns: 40, RelTol: 1e-9}},
+		{name: "with-errors", opts: ReplicateOptions{MinRuns: 8, MaxRuns: 300, RelTol: 0.05}, errEvery: 3},
+		{name: "min-equals-max", opts: ReplicateOptions{MinRuns: 17, MaxRuns: 17, RelTol: 1e-9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, wantErr := RunUntilCI(tc.opts, deterministicSample(7, tc.errEvery))
+			if wantErr != nil {
+				t.Fatal(wantErr)
+			}
+			for _, workers := range []int{2, 3, 8, 32} {
+				got, err := RunUntilCIParallel(tc.opts, workers, deterministicSample(7, tc.errEvery))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if got != want {
+					t.Fatalf("workers=%d: summary %+v != serial %+v", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestRunUntilCIParallelAllErrors(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := RunUntilCIParallel(ReplicateOptions{MinRuns: 2, MaxRuns: 9}, 4,
+		func(i int) (float64, error) { return 0, sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the sample error", err)
+	}
+}
+
+func TestRunUntilCIParallelSingleWorkerDelegates(t *testing.T) {
+	opts := ReplicateOptions{MinRuns: 5, MaxRuns: 20, RelTol: 0.1}
+	want, err := RunUntilCI(opts, deterministicSample(11, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunUntilCIParallel(opts, 1, deterministicSample(11, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("workers=1: %+v != %+v", got, want)
+	}
+}
+
+func TestRunUntilCIParallelStopsEarly(t *testing.T) {
+	// Constant samples converge at exactly MinRuns; the parallel engine may
+	// compute speculative extras but must report the serial stopping state.
+	s, err := RunUntilCIParallel(ReplicateOptions{MinRuns: 6, MaxRuns: 1000, RelTol: 0.01}, 4,
+		func(i int) (float64, error) { return 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 6 || s.Mean != 10 {
+		t.Fatalf("summary = %+v, want N=6 Mean=10", s)
+	}
+}

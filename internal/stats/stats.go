@@ -123,7 +123,7 @@ func (o ReplicateOptions) withDefaults() ReplicateOptions {
 // ErrNoSamples is returned.
 func RunUntilCI(opts ReplicateOptions, sample func(i int) (float64, error)) (Summary, error) {
 	opts = opts.withDefaults()
-	samples := make([]float64, 0, opts.MinRuns)
+	var acc Accumulator
 	var lastErr error
 	for i := 0; i < opts.MaxRuns; i++ {
 		x, err := sample(i)
@@ -131,19 +131,34 @@ func RunUntilCI(opts ReplicateOptions, sample func(i int) (float64, error)) (Sum
 			lastErr = err
 			continue
 		}
-		samples = append(samples, x)
-		if len(samples) >= opts.MinRuns {
-			s := Summarize(samples)
-			if s.RelativeCI() <= opts.RelTol {
-				return s, nil
-			}
+		if s, done := fold(&acc, x, opts); done {
+			return s, nil
 		}
 	}
-	if len(samples) == 0 {
+	return finish(&acc, lastErr)
+}
+
+// fold adds one accepted sample and applies the stopping rule: once MinRuns
+// samples are in, stop at the first sample whose running CI meets the
+// tolerance. Shared by the serial and parallel engines so both stop at the
+// same replication index with the same accumulator state.
+func fold(acc *Accumulator, x float64, opts ReplicateOptions) (Summary, bool) {
+	acc.Add(x)
+	if acc.N() >= opts.MinRuns {
+		if s := acc.Summary(); s.RelativeCI() <= opts.RelTol {
+			return s, true
+		}
+	}
+	return Summary{}, false
+}
+
+// finish terminates a replication loop that exhausted MaxRuns.
+func finish(acc *Accumulator, lastErr error) (Summary, error) {
+	if acc.N() == 0 {
 		if lastErr != nil {
 			return Summary{}, lastErr
 		}
 		return Summary{}, ErrNoSamples
 	}
-	return Summarize(samples), nil
+	return acc.Summary(), nil
 }
