@@ -13,7 +13,8 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/stats/ ./internal/experiments/ ./internal/sim/
+	$(GO) test -race ./internal/stats/ ./internal/experiments/ ./internal/sim/ ./internal/fault/
+	$(GO) test -tags simdebug ./internal/sim/
 
 test-race:
 	$(GO) test -race ./...
@@ -49,6 +50,7 @@ sample:
 fuzz:
 	$(GO) test ./internal/core/ -fuzz FuzzCoverageConditions -fuzztime 30s
 	$(GO) test ./internal/core/ -fuzz FuzzMaxMinPath -fuzztime 30s
+	$(GO) test ./internal/core/ -fuzz FuzzEvaluatorMatchesReference -fuzztime 30s
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,7 @@
 //	experiments -table1            # Table 1
 //	experiments -fig 15 -paper     # full ±1% CI criterion (slow)
 //	experiments -ext mobility      # extension experiments and ablations
+//	experiments -ext crash -crashfracs 0,0.1,0.3   # degradation sweeps
 //	experiments -all -parallel 4   # parallel replication, identical output
 //	experiments -fig 10 -cpuprofile cpu.out -memprofile mem.out
 package main
@@ -38,11 +39,13 @@ func run(args []string) error {
 		fig    = fs.String("fig", "", "figure id to reproduce (10..16)")
 		all    = fs.Bool("all", false, "reproduce every figure")
 		table1 = fs.Bool("table1", false, "print Table 1")
-		ext    = fs.String("ext", "", "extension experiment: mobility, reliability, piggyback, backoff, visitedunion, cluster, latency")
+		ext    = fs.String("ext", "", "extension experiment: mobility, reliability, piggyback, backoff, visitedunion, cluster, latency, crash, crashforward, loss")
 		paper  = fs.Bool("paper", false, "use the paper's ±1% CI replication criterion")
 		seed   = fs.Int64("seed", 42, "base workload seed")
 		svgDir = fs.String("svgdir", "", "also write each figure as an SVG chart into this directory")
 		sizes  = fs.String("sizes", "", "comma-separated network sizes (default 20..100)")
+		crash  = fs.String("crashfracs", "", "comma-separated crash fractions for -ext crash/crashforward (default 0,0.05,0.1,0.2,0.3)")
+		loss   = fs.String("lossrates", "", "comma-separated loss rates for -ext loss (default 0,0.05,0.1,0.2,0.3)")
 		par    = fs.Int("parallel", 1, "replicates evaluated concurrently per data point (results are identical for any value)")
 		cpu    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		mem    = fs.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -91,6 +94,13 @@ func run(args []string) error {
 			rc.Sizes = append(rc.Sizes, n)
 		}
 	}
+	var err error
+	if rc.CrashFractions, err = parseFloats(*crash, "-crashfracs"); err != nil {
+		return err
+	}
+	if rc.LossRates, err = parseFloats(*loss, "-lossrates"); err != nil {
+		return err
+	}
 	emit := func(f experiments.Figure) error {
 		fmt.Println(experiments.Format(f))
 		if *svgDir == "" {
@@ -138,6 +148,22 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// parseFloats parses a comma-separated float list; "" yields nil (defaults).
+func parseFloats(s, flagName string) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []float64
+	for _, tok := range strings.Split(s, ",") {
+		var x float64
+		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%g", &x); err != nil {
+			return nil, fmt.Errorf("bad %s entry %q: %w", flagName, tok, err)
+		}
+		out = append(out, x)
+	}
+	return out, nil
 }
 
 // sanitize keeps figure ids filesystem-safe.

@@ -1,0 +1,168 @@
+package core_test
+
+import (
+	"testing"
+
+	"adhocbcast/internal/core"
+	"adhocbcast/internal/view"
+)
+
+// refCovered is a deliberately slow, independent reference for the generic
+// coverage condition: label the higher-priority subgraph H by BFS, optionally
+// merge every visited-containing component (the visited-union assumption),
+// and check each neighbor pair for a direct link or a shared adjacent
+// component. It shares no code with the Evaluator beyond the view types.
+func refCovered(lv *view.Local, union bool) bool {
+	v := lv.Owner
+	nbrs := lv.G.Neighbors(v)
+	if len(nbrs) <= 1 {
+		return true
+	}
+	n := lv.G.N()
+	inH := make([]bool, n)
+	for x := 0; x < n; x++ {
+		inH[x] = x != v && lv.Visible[x] && lv.Pr[x].Greater(lv.Pr[v])
+	}
+	label := make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	next := 0
+	for x := 0; x < n; x++ {
+		if !inH[x] || label[x] >= 0 {
+			continue
+		}
+		label[x] = next
+		queue := []int{x}
+		for len(queue) > 0 {
+			y := queue[0]
+			queue = queue[1:]
+			lv.G.ForEachNeighbor(y, func(z int) {
+				if inH[z] && label[z] < 0 {
+					label[z] = next
+					queue = append(queue, z)
+				}
+			})
+		}
+		next++
+	}
+	if union {
+		// All visited nodes count as one component (they are connected
+		// through the source under any view): relabel every component
+		// containing a visited member to a shared super-label.
+		super := -1
+		mergeable := make(map[int]bool)
+		for x := 0; x < n; x++ {
+			if inH[x] && lv.Pr[x].Status == view.Visited {
+				mergeable[label[x]] = true
+				if super < 0 {
+					super = label[x]
+				}
+			}
+		}
+		if super >= 0 {
+			for x := 0; x < n; x++ {
+				if label[x] >= 0 && mergeable[label[x]] {
+					label[x] = super
+				}
+			}
+		}
+	}
+	compSet := func(u int) map[int]bool {
+		set := make(map[int]bool)
+		if inH[u] {
+			set[label[u]] = true
+			return set
+		}
+		lv.G.ForEachNeighbor(u, func(y int) {
+			if inH[y] {
+				set[label[y]] = true
+			}
+		})
+		return set
+	}
+	for i := 0; i < len(nbrs); i++ {
+		for j := i + 1; j < len(nbrs); j++ {
+			if lv.G.HasEdge(nbrs[i], nbrs[j]) {
+				continue
+			}
+			shared := false
+			cj := compSet(nbrs[j])
+			for c := range compSet(nbrs[i]) {
+				if cj[c] {
+					shared = true
+					break
+				}
+			}
+			if !shared {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// FuzzEvaluatorMatchesReference cross-checks the allocation-free Evaluator —
+// both a fresh instance and one reused dirty across every fuzz input, the
+// way a simulation reuses it across node decisions — against the slow
+// reference on randomized graphs, views, and broadcast states. It pins two
+// properties at once: the dense scratch bookkeeping computes the same
+// condition as the naive definition, and every evaluation leaves the scratch
+// neutral.
+func FuzzEvaluatorMatchesReference(f *testing.F) {
+	f.Add([]byte{5, 0, 2, 0, 1, 1, 2, 2, 3, 0xff, 1})
+	f.Add([]byte{14, 3, 1, 0, 1, 0, 2, 0, 3, 1, 2})
+	f.Add([]byte{9, 2, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 0xff, 3, 5})
+	f.Add([]byte{2, 1, 0})
+	reused := core.NewEvaluator(1)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, owner, hops, marks := decodeGraph(data)
+		if g == nil {
+			return
+		}
+		for _, metric := range []view.Metric{view.MetricID, view.MetricDegree} {
+			lv := view.NewLocal(g, owner, hops, view.BasePriorities(g, metric))
+			ownerMarked := false
+			for i, x := range marks {
+				if x == owner {
+					ownerMarked = true
+					break
+				}
+				// Mix visited and designated marks so the 1.5-status
+				// priority level is exercised too.
+				if i%3 == 2 {
+					lv.MarkDesignated(x)
+				} else {
+					lv.MarkVisited(x)
+				}
+			}
+			if ownerMarked {
+				continue
+			}
+			fresh := core.NewEvaluator(g.N())
+			for _, union := range []bool{true, false} {
+				want := refCovered(lv, union)
+				check := func(kind string, got bool) {
+					if got != want {
+						t.Fatalf("%s covered(union=%v) = %v, reference says %v (owner %d, hops %d, metric %v)",
+							kind, union, got, want, owner, hops, metric)
+					}
+				}
+				if union {
+					check("fresh", fresh.Covered(lv))
+					check("reused", reused.Covered(lv))
+					check("stateless", core.Covered(lv))
+				} else {
+					check("fresh", fresh.CoveredWithoutVisitedUnion(lv))
+					check("reused", reused.CoveredWithoutVisitedUnion(lv))
+					check("stateless", core.CoveredWithoutVisitedUnion(lv))
+				}
+			}
+			// The strong condition has no independent reference here, but
+			// reused-vs-fresh equality still pins scratch neutrality.
+			if fresh.StrongCovered(lv) != reused.StrongCovered(lv) {
+				t.Fatalf("strong covered differs between fresh and reused evaluator (owner %d)", owner)
+			}
+		}
+	})
+}

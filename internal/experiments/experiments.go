@@ -41,6 +41,12 @@ type RunConfig struct {
 	// stats.RunUntilCIParallel); raise it when a run is replication-bound —
 	// few points, the paper's ±1% criterion — rather than point-bound.
 	ReplicateParallelism int
+	// CrashFractions lists the crash-fraction sweep values of the
+	// degradation experiments (default 0, 0.05, 0.1, 0.2, 0.3).
+	CrashFractions []float64
+	// LossRates lists the loss-rate sweep values of the degradation
+	// experiments (default 0, 0.05, 0.1, 0.2, 0.3).
+	LossRates []float64
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -67,6 +73,12 @@ func (c RunConfig) withDefaults() RunConfig {
 	}
 	if c.ReplicateParallelism <= 0 {
 		c.ReplicateParallelism = 1
+	}
+	if len(c.CrashFractions) == 0 {
+		c.CrashFractions = []float64{0, 0.05, 0.1, 0.2, 0.3}
+	}
+	if len(c.LossRates) == 0 {
+		c.LossRates = []float64{0, 0.05, 0.1, 0.2, 0.3}
 	}
 	return c
 }

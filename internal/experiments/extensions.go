@@ -361,6 +361,12 @@ func ExtensionByID(id string, rc RunConfig) (Figure, error) {
 		return BackoffAblation(rc)
 	case "visitedunion":
 		return VisitedUnionAblation(rc)
+	case "crash":
+		return CrashDegradation(rc)
+	case "crashforward":
+		return CrashForwardRatio(rc)
+	case "loss":
+		return LossDegradation(rc)
 	default:
 		return Figure{}, fmt.Errorf("experiments: unknown extension %q (valid: %v)", id, AllExtensionIDs())
 	}
@@ -368,7 +374,7 @@ func ExtensionByID(id string, rc RunConfig) (Figure, error) {
 
 // AllExtensionIDs lists the extension experiments.
 func AllExtensionIDs() []string {
-	return []string{"mobility", "reliability", "piggyback", "backoff", "visitedunion", "cluster", "latency"}
+	return []string{"mobility", "reliability", "piggyback", "backoff", "visitedunion", "cluster", "latency", "crash", "crashforward", "loss"}
 }
 
 // generateNet mirrors the workload generation used by measure, for

@@ -3,14 +3,19 @@
 // snooped and piggybacked broadcast state, timers implement the backoff
 // policies, and event ordering is fully deterministic. The MAC is
 // collision-free by default (the paper's evaluation setup); optional loss,
-// collision, and jitter models support the reliability experiments, and an
-// optional stale view topology supports the mobility experiments. Protocols
-// plug in through the Protocol interface; the simulator owns all common
-// bookkeeping (view construction, visited/designated marking, delivery
-// accounting).
+// collision, and jitter models support the reliability experiments, an
+// optional stale view topology supports the mobility experiments, an optional
+// fault plan injects node crashes, churn, and link outages, and an optional
+// NACK-based recovery layer retransmits dropped copies. Protocols plug in
+// through the Protocol interface; the simulator owns all common bookkeeping
+// (view construction, visited/designated marking, delivery accounting).
 package sim
 
 import (
+	"fmt"
+	"math"
+
+	"adhocbcast/internal/fault"
 	"adhocbcast/internal/graph"
 	"adhocbcast/internal/view"
 )
@@ -44,7 +49,12 @@ type Config struct {
 	// TransmitDelay is the time for a transmission to reach all neighbors.
 	// Default 1.
 	TransmitDelay float64
-	// Seed drives the run's private RNG (backoff jitter, loss draws).
+	// Seed drives the run's private RNG streams. Each stochastic model
+	// (backoff, jitter, loss, recovery) draws from its own stream derived
+	// from Seed, so enabling one model never perturbs the draws of the
+	// others. The backoff stream is seeded with Seed itself, keeping runs
+	// without jitter or loss bit-identical to the historical single-stream
+	// simulator.
 	Seed int64
 
 	// The fields below model an unreliable MAC layer for reliability
@@ -61,6 +71,62 @@ type Config struct {
 	// transmission, de-synchronizing retransmission waves (the "small
 	// forwarding jitter delay" that relieves collisions).
 	TxJitter float64
+
+	// Faults, when non-nil, is a deterministic fault plan (node crashes,
+	// churn, link outages) the run honors: copies arriving at a down node
+	// or over a down link are dropped and accounted by cause, timers of
+	// down nodes are cancelled, and down nodes never transmit. The plan is
+	// read-only and may be shared across runs. Nil reproduces the fault-
+	// free behavior exactly.
+	Faults *fault.Plan
+
+	// NACKRecovery enables the NACK-based recovery layer: a receiver that
+	// detects a garbled copy (loss or collision — it overheard a forward
+	// it never got) requests a retransmission from the sender over a
+	// reliable control channel; the sender retries unicast with exponential
+	// backoff until the copy lands or the per-link retry budget runs out.
+	// Default off, which keeps every paper figure bit-identical.
+	NACKRecovery bool
+	// RetryBudget caps recovery retransmissions per (sender, receiver)
+	// link. Default 3 (only meaningful with NACKRecovery).
+	RetryBudget int
+	// NACKDelay is the time from a detected drop to the request reaching
+	// the sender (detection plus control transit). Default 0.5 slots.
+	NACKDelay float64
+	// RetryBackoff is the base retry delay: retransmission k is sent
+	// RetryBackoff * 2^(k-1) after its request arrives. Default 1 slot.
+	RetryBackoff float64
+}
+
+// validate rejects configurations that would silently misbehave: out-of-range
+// loss rates, negative delay windows, and malformed fault plans. n is the
+// network size the fault plan must match.
+func (c Config) validate(n int) error {
+	if c.LossRate < 0 || c.LossRate >= 1 || math.IsNaN(c.LossRate) {
+		return fmt.Errorf("sim: LossRate %v outside [0,1)", c.LossRate)
+	}
+	if c.TxJitter < 0 || math.IsNaN(c.TxJitter) {
+		return fmt.Errorf("sim: negative TxJitter %v", c.TxJitter)
+	}
+	if c.RetryBudget < 0 {
+		return fmt.Errorf("sim: negative RetryBudget %d", c.RetryBudget)
+	}
+	if c.NACKDelay < 0 || math.IsNaN(c.NACKDelay) {
+		return fmt.Errorf("sim: negative NACKDelay %v", c.NACKDelay)
+	}
+	if c.RetryBackoff < 0 || math.IsNaN(c.RetryBackoff) {
+		return fmt.Errorf("sim: negative RetryBackoff %v", c.RetryBackoff)
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(n); err != nil {
+			return fmt.Errorf("sim: invalid fault plan: %w", err)
+		}
+	}
+	if c.ViewTopology != nil && c.ViewTopology.N() != n {
+		return fmt.Errorf("sim: view topology has %d nodes, network has %d",
+			c.ViewTopology.N(), n)
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +144,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TransmitDelay <= 0 {
 		c.TransmitDelay = 1
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 3
+	}
+	if c.NACKDelay == 0 {
+		c.NACKDelay = 0.5
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 1
 	}
 	return c
 }

@@ -7,6 +7,12 @@ type eventKind int
 const (
 	eventReceive eventKind = iota + 1
 	eventTimer
+	// eventNACK is a recovery request arriving at the original sender
+	// (node); peer is the requesting receiver, attempt the retry number.
+	eventNACK
+	// eventRetransmit fires at the sender (node) when its recovery backoff
+	// expires; it emits one unicast copy toward peer.
+	eventRetransmit
 )
 
 // event is a scheduled simulator action. Events are ordered by time with the
@@ -17,6 +23,8 @@ type event struct {
 	kind    eventKind
 	node    int
 	receipt Receipt // valid for eventReceive
+	peer    int     // recovery counterpart (eventNACK / eventRetransmit)
+	attempt int     // recovery attempt: 0 for original copies, k for retry k
 }
 
 // eventQueue is a binary min-heap of events.

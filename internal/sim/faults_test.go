@@ -1,0 +1,408 @@
+package sim_test
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"adhocbcast/internal/fault"
+	"adhocbcast/internal/geo"
+	"adhocbcast/internal/protocol"
+	"adhocbcast/internal/sim"
+)
+
+// assertConserved checks the drop-accounting identity that the simdebug
+// build enforces with a panic: every transmitted copy is delivered or
+// dropped by exactly one cause.
+func assertConserved(t *testing.T, res sim.Result) {
+	t.Helper()
+	if got := res.Receipts + res.Lost + res.Collided + res.FaultDrops(); got != res.Copies {
+		t.Fatalf("accounting broken: receipts %d + lost %d + collided %d + faultDrops %d = %d != copies %d",
+			res.Receipts, res.Lost, res.Collided, res.FaultDrops(), got, res.Copies)
+	}
+}
+
+func TestCrashPartitionsScoredAgainstReachable(t *testing.T) {
+	// 0-1-2-3-4: node 2 crashes before the wave reaches it, cutting off 3
+	// and 4. Raw delivery is 2/5, but both stranded nodes are unreachable,
+	// so the reachability-aware ratio still scores the protocol perfect.
+	g := pathGraph(t, 5)
+	plan := fault.NewEmptyPlan(5)
+	plan.AddNodeDown(2, fault.Interval{From: 1.5, To: fault.Forever})
+	res, err := sim.Run(g, 0, protocol.Flooding(), sim.Config{Seed: 1, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 2 {
+		t.Fatalf("delivered = %d, want 2", res.Delivered)
+	}
+	if res.Reachable != 2 {
+		t.Fatalf("reachable = %d, want 2", res.Reachable)
+	}
+	if res.ReachableDeliveryRatio() != 1 {
+		t.Fatalf("reachable delivery ratio = %v, want 1", res.ReachableDeliveryRatio())
+	}
+	if res.DeliveryRatio() >= 1 {
+		t.Fatalf("raw delivery ratio = %v, want < 1", res.DeliveryRatio())
+	}
+	if res.DroppedNodeDown == 0 {
+		t.Fatal("no node-down drops recorded for the crashed node")
+	}
+	assertConserved(t, res)
+}
+
+func TestChurnedNodeDropsThenHearsLaterWave(t *testing.T) {
+	// Diamond 0-{1,2}-3 under flooding: node 1 is down exactly when the
+	// source's copy arrives, so it misses the first wave but catches node
+	// 3's retransmission after coming back up.
+	g := mkG(t, 4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	plan := fault.NewEmptyPlan(4)
+	plan.AddNodeDown(1, fault.Interval{From: 0.5, To: 1.5})
+	res, err := sim.Run(g, 0, protocol.Flooding(), sim.Config{Seed: 1, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FullDelivery() {
+		t.Fatalf("delivered %d/%d", res.Delivered, res.N)
+	}
+	if res.DroppedNodeDown != 1 {
+		t.Fatalf("node-down drops = %d, want 1", res.DroppedNodeDown)
+	}
+	// All four nodes are reachable: churn is transient, not a crash.
+	if res.Reachable != 4 {
+		t.Fatalf("reachable = %d, want 4", res.Reachable)
+	}
+	assertConserved(t, res)
+}
+
+func TestLinkOutageDropsByCause(t *testing.T) {
+	// Diamond: the 0-1 link is down at t=1, so node 1 only gets the packet
+	// via node 3's retransmission.
+	g := mkG(t, 4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	plan := fault.NewEmptyPlan(4)
+	plan.AddLinkDown(0, 1, fault.Interval{From: 0.5, To: 1.5})
+	res, err := sim.Run(g, 0, protocol.Flooding(), sim.Config{Seed: 1, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FullDelivery() {
+		t.Fatalf("delivered %d/%d", res.Delivered, res.N)
+	}
+	if res.DroppedLinkDown != 1 {
+		t.Fatalf("link-down drops = %d, want 1", res.DroppedLinkDown)
+	}
+	if res.DroppedNodeDown != 0 {
+		t.Fatalf("node-down drops = %d, want 0", res.DroppedNodeDown)
+	}
+	assertConserved(t, res)
+}
+
+func TestCrashCancelsBackoffTimer(t *testing.T) {
+	// FRB on a triangle: node 1 receives at t=1 and arms a backoff timer,
+	// then crashes before it can fire. The timer must be cancelled, not
+	// dispatched to a dead node.
+	g := mkG(t, 3, [][2]int{{0, 1}, {0, 2}, {1, 2}})
+	plan := fault.NewEmptyPlan(3)
+	plan.AddNodeDown(1, fault.Interval{From: 1.25, To: fault.Forever})
+	res, err := sim.Run(g, 0, protocol.Generic(protocol.TimingBackoffRandom),
+		sim.Config{Hops: 2, Seed: 3, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Forward {
+		if v == 1 {
+			t.Fatal("crashed node transmitted")
+		}
+	}
+	if res.TimersCancelled == 0 {
+		t.Fatal("no timer cancellation recorded")
+	}
+	assertConserved(t, res)
+}
+
+func TestDownSourceStaysSilent(t *testing.T) {
+	g := pathGraph(t, 3)
+	plan := fault.NewEmptyPlan(3)
+	plan.AddNodeDown(0, fault.Interval{From: 0, To: fault.Forever})
+	res, err := sim.Run(g, 0, protocol.Flooding(), sim.Config{Seed: 1, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForwardCount() != 0 {
+		t.Fatalf("forward count = %d, want 0 (source down at start)", res.ForwardCount())
+	}
+	if res.Copies != 0 {
+		t.Fatalf("copies = %d, want 0", res.Copies)
+	}
+	assertConserved(t, res)
+}
+
+func TestChurnBreaksCollisionSymmetry(t *testing.T) {
+	// The diamond collision scenario (see TestCollisionsOnSynchronizedWave):
+	// without faults nodes 1 and 2 retransmit simultaneously and their
+	// copies destroy each other at node 3. With node 1 down during the
+	// first wave, node 2 retransmits alone and node 3 is served — and the
+	// fault-dropped copy must not be counted as a colliding arrival.
+	g := mkG(t, 4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	plan := fault.NewEmptyPlan(4)
+	plan.AddNodeDown(1, fault.Interval{From: 0.5, To: 1.5})
+	res, err := sim.Run(g, 0, protocol.Flooding(), sim.Config{Collisions: true, Seed: 1, Faults: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FullDelivery() {
+		t.Fatalf("delivered %d/%d", res.Delivered, res.N)
+	}
+	if res.DroppedNodeDown != 1 {
+		t.Fatalf("node-down drops = %d, want 1", res.DroppedNodeDown)
+	}
+	assertConserved(t, res)
+}
+
+func TestEmptyPlanMatchesNilPlan(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	net, err := geo.Generate(geo.Config{N: 60, AvgDegree: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() sim.Protocol { return protocol.Generic(protocol.TimingBackoffRandom) }
+	a, err := sim.Run(net.G, 0, mk(), sim.Config{Hops: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(net.G, 0, mk(), sim.Config{Hops: 2, Seed: 9, Faults: fault.NewEmptyPlan(60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("empty plan diverged from nil plan:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestFaultRunsByteIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	net, err := geo.Generate(geo.Config{N: 80, AvgDegree: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := fault.NewPlan(net.G, fault.Params{
+		CrashFraction: 0.15,
+		ChurnFraction: 0.1,
+		LinkFraction:  0.1,
+		Protect:       []int{2},
+	}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Config{
+		Hops:         2,
+		Seed:         11,
+		LossRate:     0.2,
+		Collisions:   true,
+		TxJitter:     0.5,
+		Faults:       plan,
+		NACKRecovery: true,
+	}
+	mk := func() sim.Protocol { return protocol.Generic(protocol.TimingBackoffRandom) }
+	a, err := sim.Run(net.G, 2, mk(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.Run(net.G, 2, mk(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("fault runs not byte-identical:\n%+v\n%+v", a, b)
+	}
+	assertConserved(t, a)
+}
+
+// TestConservationCombined is the drop-accounting stress test required by
+// the robustness issue: under loss + collisions + faults + recovery, every
+// copy sent is delivered or dropped by exactly one accounted cause.
+func TestConservationCombined(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		net, err := geo.Generate(geo.Config{N: 70, AvgDegree: 8}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := fault.NewPlan(net.G, fault.Params{
+			CrashFraction: 0.1,
+			ChurnFraction: 0.15,
+			LinkFraction:  0.1,
+			Protect:       []int{0},
+		}, int64(trial))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, nack := range []bool{false, true} {
+			res, err := sim.Run(net.G, 0, protocol.Flooding(), sim.Config{
+				Seed:         int64(trial + 1),
+				LossRate:     0.25,
+				Collisions:   true,
+				TxJitter:     0.5,
+				Faults:       plan,
+				NACKRecovery: nack,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertConserved(t, res)
+			if nack && res.Retransmits == 0 {
+				t.Fatal("recovery enabled but no retransmissions under heavy loss")
+			}
+			if !nack && (res.NACKs != 0 || res.Retransmits != 0) {
+				t.Fatalf("recovery disabled but NACKs=%d retransmits=%d", res.NACKs, res.Retransmits)
+			}
+		}
+	}
+}
+
+// TestBackoffStreamDecoupledFromLoss pins the per-purpose RNG split: a loss
+// model that draws (but never drops — the rate is infinitesimal) must leave
+// the backoff schedule, and hence the whole run, untouched. Before the
+// split, loss draws shifted the shared stream and perturbed every backoff.
+func TestBackoffStreamDecoupledFromLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	net, err := geo.Generate(geo.Config{N: 80, AvgDegree: 6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() sim.Protocol { return protocol.Generic(protocol.TimingBackoffRandom) }
+	clean, err := sim.Run(net.G, 0, mk(), sim.Config{Hops: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy, err := sim.Run(net.G, 0, mk(), sim.Config{Hops: 2, Seed: 7, LossRate: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossy.Lost != 0 {
+		t.Fatalf("infinitesimal loss rate dropped %d copies", lossy.Lost)
+	}
+	if !reflect.DeepEqual(clean.Forward, lossy.Forward) || clean.Finish != lossy.Finish {
+		t.Fatalf("enabling the loss model perturbed the backoff schedule:\n%v finish %v\n%v finish %v",
+			clean.Forward, clean.Finish, lossy.Forward, lossy.Finish)
+	}
+}
+
+// TestJitterStreamDecoupledFromLoss: same property for the jitter stream.
+func TestJitterStreamDecoupledFromLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	net, err := geo.Generate(geo.Config{N: 60, AvgDegree: 8}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sim.Config{Hops: 2, Seed: 13, Collisions: true, TxJitter: 0.5}
+	a, err := sim.Run(net.G, 0, protocol.Flooding(), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := base
+	lossy.LossRate = 1e-12
+	b, err := sim.Run(net.G, 0, protocol.Flooding(), lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Lost != 0 {
+		t.Fatalf("infinitesimal loss rate dropped %d copies", b.Lost)
+	}
+	if !reflect.DeepEqual(a.Forward, b.Forward) || a.Finish != b.Finish || a.Collided != b.Collided {
+		t.Fatal("enabling the loss model perturbed the jitter schedule")
+	}
+}
+
+func TestNACKRecoveryExhaustsBudget(t *testing.T) {
+	// One link, everything lost: the receiver NACKs after every garbled
+	// copy until the budget runs out. Exact accounting: 1 original copy +
+	// RetryBudget retransmissions, all lost.
+	g := pathGraph(t, 2)
+	res, err := sim.Run(g, 0, protocol.Flooding(), sim.Config{
+		Seed:         1,
+		LossRate:     0.999999,
+		NACKRecovery: true,
+		RetryBudget:  3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered != 1 {
+		t.Fatalf("delivered = %d, want 1", res.Delivered)
+	}
+	if res.NACKs != 3 || res.Retransmits != 3 {
+		t.Fatalf("NACKs = %d, retransmits = %d, want 3 and 3", res.NACKs, res.Retransmits)
+	}
+	if res.Copies != 4 || res.Lost != 4 {
+		t.Fatalf("copies = %d, lost = %d, want 4 and 4", res.Copies, res.Lost)
+	}
+	assertConserved(t, res)
+}
+
+func TestNACKRecoveryImprovesLossyDelivery(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	net, err := geo.Generate(geo.Config{N: 80, AvgDegree: 6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() sim.Protocol { return protocol.Generic(protocol.TimingFirstReceipt) }
+	var plain, recovered float64
+	const runs = 30
+	for i := 0; i < runs; i++ {
+		cfg := sim.Config{Hops: 2, Seed: int64(i + 1), LossRate: 0.35}
+		a, err := sim.Run(net.G, i%80, mk(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.NACKRecovery = true
+		b, err := sim.Run(net.G, i%80, mk(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain += a.DeliveryRatio()
+		recovered += b.DeliveryRatio()
+		assertConserved(t, a)
+		assertConserved(t, b)
+	}
+	if recovered <= plain {
+		t.Fatalf("recovery did not improve delivery: %.3f vs %.3f", recovered/runs, plain/runs)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := pathGraph(t, 4)
+	badPlan := fault.NewEmptyPlan(4)
+	badPlan.AddNodeDown(1, fault.Interval{From: 3, To: 2})
+	wrongSize := fault.NewEmptyPlan(5)
+	cases := []struct {
+		name string
+		cfg  sim.Config
+		want string
+	}{
+		{"loss negative", sim.Config{LossRate: -0.1}, "LossRate"},
+		{"loss one", sim.Config{LossRate: 1}, "LossRate"},
+		{"loss above one", sim.Config{LossRate: 1.5}, "LossRate"},
+		{"negative jitter", sim.Config{TxJitter: -1}, "TxJitter"},
+		{"negative budget", sim.Config{RetryBudget: -2}, "RetryBudget"},
+		{"negative nack delay", sim.Config{NACKDelay: -0.5}, "NACKDelay"},
+		{"negative retry backoff", sim.Config{RetryBackoff: -1}, "RetryBackoff"},
+		{"malformed plan", sim.Config{Faults: badPlan}, "fault"},
+		{"plan size mismatch", sim.Config{Faults: wrongSize}, "nodes"},
+	}
+	for _, c := range cases {
+		_, err := sim.Run(g, 0, protocol.Flooding(), c.cfg)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+	// The zero config stays valid.
+	if _, err := sim.Run(g, 0, protocol.Flooding(), sim.Config{}); err != nil {
+		t.Fatalf("zero config rejected: %v", err)
+	}
+}

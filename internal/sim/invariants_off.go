@@ -1,0 +1,7 @@
+//go:build !simdebug
+
+package sim
+
+// debugChecks disables the event-loop invariant assertions in regular builds;
+// build with -tags simdebug to enable them.
+const debugChecks = false

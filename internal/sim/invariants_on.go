@@ -1,0 +1,8 @@
+//go:build simdebug
+
+package sim
+
+// debugChecks enables the event-loop invariant assertions (see invariants.go)
+// in builds tagged `simdebug`. CI runs the sim tests once with the tag so the
+// invariants are exercised on every change without taxing production runs.
+const debugChecks = true

@@ -3,9 +3,10 @@ package sim
 import (
 	"container/heap"
 	"fmt"
-	"math/rand"
+	"math"
 
 	"adhocbcast/internal/core"
+	"adhocbcast/internal/fault"
 	"adhocbcast/internal/graph"
 	"adhocbcast/internal/view"
 )
@@ -57,6 +58,10 @@ type NodeState struct {
 	Receipts []Receipt
 	// Data is protocol-private per-node state.
 	Data any
+
+	// sentPkt is the packet this node transmitted, kept for recovery-layer
+	// retransmissions.
+	sentPkt Packet
 }
 
 // Designated reports whether any node designated this node.
@@ -86,10 +91,34 @@ type Result struct {
 	// Receipts is the total number of packet copies delivered (a measure
 	// of channel load and redundancy).
 	Receipts int
+	// Copies is the total number of packet copies transmitted, including
+	// recovery retransmissions. Every copy is eventually delivered or
+	// dropped: Receipts + Lost + Collided + FaultDrops() == Copies.
+	Copies int
 	// Lost counts copies dropped by the random-loss model.
 	Lost int
 	// Collided counts copies dropped by the collision model.
 	Collided int
+	// DroppedNodeDown counts copies dropped because the receiver was
+	// crashed or churned down at arrival time.
+	DroppedNodeDown int
+	// DroppedLinkDown counts copies dropped because the link was down at
+	// arrival time.
+	DroppedLinkDown int
+	// TimersCancelled counts protocol timers cancelled because their owner
+	// was down when they fired.
+	TimersCancelled int
+	// NACKs counts recovery requests sent by receivers.
+	NACKs int
+	// Retransmits counts recovery retransmissions sent (a subset of
+	// Copies).
+	Retransmits int
+	// Reachable is the number of nodes reachable from the source once the
+	// fault plan's crashed nodes are removed (N when no plan is set).
+	Reachable int
+	// DeliveredReachable is the number of reachable nodes that received
+	// the packet.
+	DeliveredReachable int
 }
 
 // DeliveryRatio returns the fraction of nodes that received the packet.
@@ -99,6 +128,23 @@ func (r Result) DeliveryRatio() float64 {
 	}
 	return float64(r.Delivered) / float64(r.N)
 }
+
+// ReachableDeliveryRatio returns the fraction of *reachable* nodes that
+// received the packet: delivered over the nodes still connected to the source
+// after removing crashed nodes. Under a partitioning fault plan this scores
+// the protocol only on the nodes it could possibly have served, so a
+// partitioned network is not counted as a protocol failure. Without a fault
+// plan it equals DeliveryRatio.
+func (r Result) ReachableDeliveryRatio() float64 {
+	if r.Reachable == 0 {
+		return 0
+	}
+	return float64(r.DeliveredReachable) / float64(r.Reachable)
+}
+
+// FaultDrops returns the total copies dropped by the fault plan, by any
+// cause.
+func (r Result) FaultDrops() int { return r.DroppedNodeDown + r.DroppedLinkDown }
 
 // ForwardCount returns the number of forward (transmitting) nodes.
 func (r Result) ForwardCount() int { return len(r.Forward) }
@@ -117,7 +163,8 @@ type Network struct {
 
 	protocol Protocol
 	eval     *core.Evaluator
-	rng      *rand.Rand
+	rngs     streams
+	plan     *fault.Plan
 	now      float64
 	seq      int
 	queue    eventQueue
@@ -125,24 +172,36 @@ type Network struct {
 	forward  []int
 	base     []view.Priority
 	viewG    *graph.Graph // topology the views were built from
-	receipts int
-	lost     int
-	collided int
+
+	receipts        int
+	copies          int
+	lost            int
+	collided        int
+	droppedNodeDown int
+	droppedLinkDown int
+	timersCancelled int
+	nacks           int
+	retransmits     int
 }
 
 // Run simulates one broadcast of protocol p from source over g and returns
-// the outcome. It returns an error only for invalid inputs; protocol
-// behavior (including failed delivery) is reported in the Result.
+// the outcome. It returns an error only for invalid inputs (out-of-range
+// source, malformed Config or fault plan); protocol behavior (including
+// failed delivery) is reported in the Result.
 func Run(g *graph.Graph, source int, p Protocol, cfg Config) (Result, error) {
 	if source < 0 || source >= g.N() {
 		return Result{}, fmt.Errorf("sim: source %d out of range [0,%d)", source, g.N())
+	}
+	if err := cfg.validate(g.N()); err != nil {
+		return Result{}, err
 	}
 	net := &Network{
 		G:        g,
 		Cfg:      cfg.withDefaults(),
 		Source:   source,
 		protocol: p,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		rngs:     newStreams(cfg.Seed),
+		plan:     cfg.Faults,
 	}
 	net.build()
 	p.Init(net)
@@ -181,10 +240,19 @@ func (net *Network) deliverToSource() {
 	st.LastPacket = st.FirstPacket
 }
 
+// down reports whether node v is down (crashed or churned) at the current
+// simulation time.
+func (net *Network) down(v int) bool {
+	return net.plan != nil && net.plan.NodeDownAt(v, net.now)
+}
+
 func (net *Network) loop() {
 	if !net.Cfg.Collisions {
 		for net.queue.Len() > 0 {
 			e := heap.Pop(&net.queue).(*event)
+			if debugChecks && e.at < net.now {
+				panic(fmt.Sprintf("sim: event time %v before now %v", e.at, net.now))
+			}
 			net.now = e.at
 			net.dispatch(e)
 		}
@@ -192,7 +260,8 @@ func (net *Network) loop() {
 	}
 	// Collision mode: drain all events sharing one instant as a batch; two
 	// or more copies arriving at the same receiver at the same instant
-	// destroy each other.
+	// destroy each other. Copies already dropped by the fault plan do not
+	// count as arrivals — a down node's radio is off, not jamming.
 	var batch []*event
 	for net.queue.Len() > 0 {
 		batch = batch[:0]
@@ -200,16 +269,27 @@ func (net *Network) loop() {
 		for net.queue.Len() > 0 && net.queue[0].at == at {
 			batch = append(batch, heap.Pop(&net.queue).(*event))
 		}
+		if debugChecks && at < net.now {
+			panic(fmt.Sprintf("sim: event time %v before now %v", at, net.now))
+		}
 		net.now = at
-		arrivals := make(map[int]int)
+		live := batch[:0]
 		for _, e := range batch {
+			if e.kind == eventReceive && net.dropByFault(e) {
+				continue
+			}
+			live = append(live, e)
+		}
+		arrivals := make(map[int]int)
+		for _, e := range live {
 			if e.kind == eventReceive {
 				arrivals[e.node]++
 			}
 		}
-		for _, e := range batch {
+		for _, e := range live {
 			if e.kind == eventReceive && arrivals[e.node] > 1 {
 				net.collided++
+				net.maybeNACK(e.node, e.receipt.From, e.attempt)
 				continue
 			}
 			net.dispatch(e)
@@ -220,15 +300,54 @@ func (net *Network) loop() {
 func (net *Network) dispatch(e *event) {
 	switch e.kind {
 	case eventReceive:
-		net.handleReceive(e.node, e.receipt)
+		if net.dropByFault(e) {
+			return
+		}
+		net.handleReceive(e.node, e.receipt, e.attempt)
 	case eventTimer:
+		if net.down(e.node) {
+			// A down node loses its pending decision timers: a crashed
+			// node forever, a churned node because the reboot wiped its
+			// soft state.
+			net.timersCancelled++
+			return
+		}
 		net.protocol.OnTimer(net, e.node)
+	case eventNACK:
+		net.handleNACK(e)
+	case eventRetransmit:
+		net.handleRetransmit(e)
 	}
 }
 
-func (net *Network) handleReceive(v int, r Receipt) {
-	if net.Cfg.LossRate > 0 && net.rng.Float64() < net.Cfg.LossRate {
+// dropByFault drops a receive event whose receiver or link is down at
+// arrival time, accounting the drop by cause. It is idempotent for events
+// that are not dropped, so the collision path may pre-filter a batch and
+// dispatch the survivors through the normal path.
+func (net *Network) dropByFault(e *event) bool {
+	if net.plan == nil {
+		return false
+	}
+	if net.plan.NodeDownAt(e.node, net.now) {
+		net.droppedNodeDown++
+		return true
+	}
+	if net.plan.LinkDownAt(e.receipt.From, e.node, net.now) {
+		net.droppedLinkDown++
+		return true
+	}
+	return false
+}
+
+func (net *Network) handleReceive(v int, r Receipt, attempt int) {
+	if debugChecks && net.down(v) {
+		panic(fmt.Sprintf("sim: delivery dispatched to down node %d at %v", v, net.now))
+	}
+	if net.Cfg.LossRate > 0 && net.rngs.loss.Float64() < net.Cfg.LossRate {
 		net.lost++
+		// The receiver detected a garbled transmission it could not
+		// decode: with recovery enabled it asks the sender to retry.
+		net.maybeNACK(v, r.From, attempt)
 		return
 	}
 	net.receipts++
@@ -265,6 +384,83 @@ func (net *Network) handleReceive(v int, r Receipt) {
 	net.protocol.OnReceive(net, v, r)
 }
 
+// maybeNACK schedules a recovery request from receiver v to sender `from`
+// after a copy was dropped by loss or collision (the drops a radio can
+// detect; a down node or link leaves nothing to overhear). attempt is the
+// retry number of the dropped copy; the request asks for attempt+1, bounded
+// by the retry budget. Receivers that already hold the packet do not bother.
+func (net *Network) maybeNACK(v, from, attempt int) {
+	if !net.Cfg.NACKRecovery || net.nodes[v].Received {
+		return
+	}
+	next := attempt + 1
+	if next > net.Cfg.RetryBudget {
+		return
+	}
+	net.nacks++
+	net.seq++
+	heap.Push(&net.queue, &event{
+		at:      net.now + net.Cfg.NACKDelay,
+		seq:     net.seq,
+		kind:    eventNACK,
+		node:    from,
+		peer:    v,
+		attempt: next,
+	})
+}
+
+// handleNACK processes a recovery request arriving at the original sender:
+// the retransmission is scheduled after an exponential backoff, unless the
+// sender itself is down by now (then the recovery chain dies — there is
+// nobody left to retry).
+func (net *Network) handleNACK(e *event) {
+	u := e.node
+	if net.down(u) {
+		return
+	}
+	delay := math.Ldexp(net.Cfg.RetryBackoff, e.attempt-1)
+	net.seq++
+	heap.Push(&net.queue, &event{
+		at:      net.now + delay,
+		seq:     net.seq,
+		kind:    eventRetransmit,
+		node:    u,
+		peer:    e.peer,
+		attempt: e.attempt,
+	})
+}
+
+// handleRetransmit emits one unicast recovery copy from sender e.node to
+// receiver e.peer, subject to the same loss, collision, and fault filters as
+// any other copy.
+func (net *Network) handleRetransmit(e *event) {
+	u := e.node
+	if net.down(u) || !net.nodes[u].Sent {
+		return
+	}
+	arrive := net.now + net.Cfg.TransmitDelay
+	if net.Cfg.TxJitter > 0 {
+		// Recovery retransmissions jitter from the fault stream so they
+		// never perturb the jitter draws of regular transmissions.
+		arrive += net.rngs.fault.Float64() * net.Cfg.TxJitter
+	}
+	net.retransmits++
+	net.copies++
+	net.seq++
+	heap.Push(&net.queue, &event{
+		at:   arrive,
+		seq:  net.seq,
+		kind: eventReceive,
+		node: e.peer,
+		receipt: Receipt{
+			From:   u,
+			At:     arrive,
+			Packet: net.nodes[u].sentPkt,
+		},
+		attempt: e.attempt,
+	})
+}
+
 func (net *Network) result() Result {
 	delivered := 0
 	for _, st := range net.nodes {
@@ -272,15 +468,45 @@ func (net *Network) result() Result {
 			delivered++
 		}
 	}
-	return Result{
-		Forward:   append([]int(nil), net.forward...),
-		Delivered: delivered,
-		N:         net.G.N(),
-		Finish:    net.now,
-		Receipts:  net.receipts,
-		Lost:      net.lost,
-		Collided:  net.collided,
+	res := Result{
+		Forward:         append([]int(nil), net.forward...),
+		Delivered:       delivered,
+		N:               net.G.N(),
+		Finish:          net.now,
+		Receipts:        net.receipts,
+		Copies:          net.copies,
+		Lost:            net.lost,
+		Collided:        net.collided,
+		DroppedNodeDown: net.droppedNodeDown,
+		DroppedLinkDown: net.droppedLinkDown,
+		TimersCancelled: net.timersCancelled,
+		NACKs:           net.nacks,
+		Retransmits:     net.retransmits,
 	}
+	if net.plan == nil {
+		// No faults: every node is reachable (or at least scored; a
+		// disconnected input graph is a workload property, not a fault).
+		res.Reachable = res.N
+		res.DeliveredReachable = delivered
+	} else {
+		reach := net.plan.ReachableFrom(net.G, net.Source)
+		for v, ok := range reach {
+			if !ok {
+				continue
+			}
+			res.Reachable++
+			if net.nodes[v].Received {
+				res.DeliveredReachable++
+			}
+		}
+	}
+	if debugChecks {
+		if got := res.Receipts + res.Lost + res.Collided + res.FaultDrops(); got != res.Copies {
+			panic(fmt.Sprintf("sim: drop accounting broken: receipts %d + lost %d + collided %d + faultDrops %d != copies %d",
+				res.Receipts, res.Lost, res.Collided, res.FaultDrops(), res.Copies))
+		}
+	}
+	return res
 }
 
 // Now returns the current simulation time.
@@ -301,7 +527,7 @@ func (net *Network) State(v int) *NodeState { return net.nodes[v] }
 
 // RandomBackoff draws a uniform backoff delay from [0, BackoffWindow).
 func (net *Network) RandomBackoff() float64 {
-	return net.rng.Float64() * net.Cfg.BackoffWindow
+	return net.rngs.backoff.Float64() * net.Cfg.BackoffWindow
 }
 
 // DegreeBackoff returns the backoff of the FRBD policy, proportional to the
@@ -345,7 +571,7 @@ func (net *Network) MarkNonForward(v int) {
 // Transmit makes node v forward the broadcast packet now, carrying the given
 // designated forward set. All neighbors receive a copy after TransmitDelay.
 // Repeated transmissions by the same node are ignored (a node forwards at
-// most once).
+// most once). A node that is down at transmission time stays silent.
 func (net *Network) Transmit(v int, designated []int) {
 	net.TransmitExtra(v, designated, nil)
 }
@@ -354,7 +580,7 @@ func (net *Network) Transmit(v int, designated []int) {
 // to the packet.
 func (net *Network) TransmitExtra(v int, designated, extra []int) {
 	st := net.nodes[v]
-	if st.Sent {
+	if st.Sent || net.down(v) {
 		return
 	}
 	st.Sent = true
@@ -377,13 +603,15 @@ func (net *Network) TransmitExtra(v int, designated, extra []int) {
 		Trail:  newTrail,
 		Extra:  extra,
 	}
+	st.sentPkt = pkt
 	arrive := net.now + net.Cfg.TransmitDelay
 	if net.Cfg.TxJitter > 0 {
 		// One jitter draw per transmission: all neighbors hear the same
 		// (delayed) transmission at the same instant.
-		arrive += net.rng.Float64() * net.Cfg.TxJitter
+		arrive += net.rngs.jitter.Float64() * net.Cfg.TxJitter
 	}
 	net.G.ForEachNeighbor(v, func(u int) {
+		net.copies++
 		net.seq++
 		heap.Push(&net.queue, &event{
 			at:   arrive,

@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math/rand"
+)
+
+// streams holds the per-purpose random streams of one run, all derived from
+// Config.Seed. Splitting the single historical rng means enabling one
+// stochastic model (say loss) no longer shifts the draws of another (say
+// backoff): each consumer owns its sequence. The backoff stream is seeded
+// with Seed directly — in runs without jitter or loss it was the only
+// consumer of the old shared rng, so those runs (every paper figure) stay
+// bit-identical across the split.
+type streams struct {
+	backoff *rand.Rand // backoff-timing delays (FRB)
+	jitter  *rand.Rand // per-transmission forwarding jitter
+	loss    *rand.Rand // per-receipt loss draws
+	fault   *rand.Rand // fault/recovery-layer draws (retry jitter)
+}
+
+func newStreams(seed int64) streams {
+	return streams{
+		backoff: rand.New(rand.NewSource(seed)),
+		jitter:  rand.New(rand.NewSource(subSeed(seed, "jitter"))),
+		loss:    rand.New(rand.NewSource(subSeed(seed, "loss"))),
+		fault:   rand.New(rand.NewSource(subSeed(seed, "fault"))),
+	}
+}
+
+// subSeed maps (seed, purpose) to an independent stream seed.
+func subSeed(seed int64, purpose string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte(purpose))
+	return int64(h.Sum64() & (1<<62 - 1))
+}
