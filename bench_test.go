@@ -21,6 +21,7 @@ import (
 	"adhocbcast/internal/experiments"
 	"adhocbcast/internal/geo"
 	"adhocbcast/internal/hello"
+	"adhocbcast/internal/obsv"
 	"adhocbcast/internal/protocol"
 	"adhocbcast/internal/sim"
 	"adhocbcast/internal/stats"
@@ -241,14 +242,37 @@ func BenchmarkReplicationPoint(b *testing.B) {
 		rc := base
 		rc.ReplicateParallelism = workers
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var counters obsv.LiveCounters
+			rc.Progress = func(point string, u stats.ProgressUpdate) {
+				if !u.Exhausted {
+					counters.AddReplicate()
+				}
+			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := experiments.Figure10(rc); err != nil {
 					b.Fatal(err)
 				}
 			}
+			// Runs-to-converge metadata: benchjson carries free-form units
+			// into BENCH_results.json's metrics map.
+			b.ReportMetric(float64(counters.Replicates())/float64(b.N), "replicates/op")
 		})
 	}
+}
+
+// BenchmarkMetricsOverhead measures the cost a live RunRecord adds to one
+// broadcast: the Metrics hook sits on the per-receipt hot path, so the
+// instrumented run should stay within noise of the plain one and add zero
+// allocations beyond the record itself.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	mk := func() sim.Protocol { return protocol.Generic(protocol.TimingFirstReceipt) }
+	b.Run("plain", func(b *testing.B) {
+		benchBroadcast(b, mk, sim.Config{Hops: 2, LossRate: 0.1}, 100, 18)
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		benchBroadcast(b, mk, sim.Config{Hops: 2, LossRate: 0.1, Metrics: obsv.NewRunRecord()}, 100, 18)
+	})
 }
 
 // BenchmarkCoverageConditions contrasts the evaluation cost of the generic

@@ -31,8 +31,13 @@ type Result struct {
 	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
+// ReportSchema versions the emitted document so downstream tooling can
+// detect layout changes; bump it whenever Report or Result fields change.
+const ReportSchema = "benchjson/v1"
+
 // Report is the emitted document.
 type Report struct {
+	Schema   string   `json:"schema"`
 	Results  []Result `json:"results"`
 	Previous []Result `json:"previous,omitempty"`
 }
@@ -49,12 +54,17 @@ func run() error {
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
 
-	var report Report
+	report := Report{Schema: ReportSchema}
 	if *old != "" {
 		if data, err := os.ReadFile(*old); err == nil {
 			var prev Report
 			if err := json.Unmarshal(data, &prev); err != nil {
 				return fmt.Errorf("parse %s: %w", *old, err)
+			}
+			// Pre-versioned reports have no schema field; anything else
+			// must match what this tool writes.
+			if prev.Schema != "" && prev.Schema != ReportSchema {
+				return fmt.Errorf("%s: schema %q, want %q", *old, prev.Schema, ReportSchema)
 			}
 			report.Previous = prev.Results
 		}

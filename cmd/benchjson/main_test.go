@@ -1,6 +1,20 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestReportCarriesSchema(t *testing.T) {
+	data, err := json.Marshal(Report{Schema: ReportSchema})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"schema":"benchjson/v1"`) {
+		t.Fatalf("report JSON missing schema: %s", data)
+	}
+}
 
 func TestParseLine(t *testing.T) {
 	r, ok := parseLine("BenchmarkFigure10Timing/Static-8   100   1032029 ns/op   1236703 B/op   6700 allocs/op   24.5 forward/op")

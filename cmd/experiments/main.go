@@ -11,19 +11,27 @@
 //	experiments -ext crash -crashfracs 0,0.1,0.3   # degradation sweeps
 //	experiments -all -parallel 4   # parallel replication, identical output
 //	experiments -fig 10 -cpuprofile cpu.out -memprofile mem.out
+//	experiments -fig 10 -tracedir traces -progress   # JSONL export + live progress
+//	experiments -all -paper -debugaddr localhost:6060   # expvar/pprof during a long sweep
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 
 	"adhocbcast/internal/experiments"
+	"adhocbcast/internal/obsv"
 	"adhocbcast/internal/render"
+	"adhocbcast/internal/stats"
 )
 
 func main() {
@@ -49,6 +57,9 @@ func run(args []string) error {
 		par    = fs.Int("parallel", 1, "replicates evaluated concurrently per data point (results are identical for any value)")
 		cpu    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		mem    = fs.String("memprofile", "", "write an allocation profile to this file on exit")
+		trace  = fs.String("tracedir", "", "export per-replicate JSONL run records and event traces into this directory (one file per data point)")
+		prog   = fs.Bool("progress", false, "print replication progress (replicates done, relative CI, estimated total) to stderr")
+		debug  = fs.String("debugaddr", "", "serve expvar and pprof on this address (e.g. localhost:6060) with live replication counters under \"experiments\"")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,9 +92,20 @@ func run(args []string) error {
 		fmt.Print(experiments.Table1())
 		return nil
 	}
-	rc := experiments.RunConfig{Seed: *seed, ReplicateParallelism: *par}
+	rc := experiments.RunConfig{Seed: *seed, ReplicateParallelism: *par, TraceDir: *trace}
 	if *paper {
 		rc.Replicate = experiments.Paper()
+	}
+	rc.Progress = progressFunc(*prog, *debug)
+	if *debug != "" {
+		// The default mux already serves /debug/pprof/ (the blank pprof
+		// import) and /debug/vars (expvar); the listener lives for the
+		// whole process.
+		go func() {
+			if err := http.ListenAndServe(*debug, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: debugaddr:", err)
+			}
+		}()
 	}
 	if *sizes != "" {
 		for _, tok := range strings.Split(*sizes, ",") {
@@ -148,6 +170,58 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// progressEvery throttles -progress output to one line per this many
+// replicates per data point (the converged/exhausted line always prints).
+const progressEvery = 25
+
+// progressFunc builds the replication-progress callback: stderr lines when
+// print is set, live expvar counters when debugAddr is set, nil when
+// neither. Data points are measured concurrently, so printing is serialized.
+func progressFunc(print bool, debugAddr string) func(string, stats.ProgressUpdate) {
+	var live *obsv.LiveCounters
+	if debugAddr != "" {
+		// Re-publishing panics, so reuse the var across run() invocations.
+		if v, ok := expvar.Get("experiments").(*obsv.LiveCounters); ok {
+			live = v
+		} else {
+			live = &obsv.LiveCounters{}
+			expvar.Publish("experiments", live)
+		}
+	}
+	if !print && live == nil {
+		return nil
+	}
+	var mu sync.Mutex
+	return func(point string, u stats.ProgressUpdate) {
+		if live != nil {
+			if u.Exhausted {
+				live.PointExhausted()
+			} else {
+				live.AddReplicate()
+				if u.Converged {
+					live.PointConverged()
+				}
+			}
+		}
+		if !print || (!u.Converged && !u.Exhausted && u.Done%progressEvery != 0) {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		switch {
+		case u.Converged:
+			fmt.Fprintf(os.Stderr, "progress: %s: converged after %d replicates (rel-CI %.2f%%)\n",
+				point, u.Done, 100*u.RelCI)
+		case u.Exhausted:
+			fmt.Fprintf(os.Stderr, "progress: %s: replication cap hit at %d replicates (rel-CI %.2f%%)\n",
+				point, u.Done, 100*u.RelCI)
+		default:
+			fmt.Fprintf(os.Stderr, "progress: %s: %d replicates of ~%d estimated (rel-CI %.2f%%)\n",
+				point, u.Done, u.EstTotal, 100*u.RelCI)
+		}
+	}
 }
 
 // parseFloats parses a comma-separated float list; "" yields nil (defaults).

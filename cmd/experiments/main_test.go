@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adhocbcast/internal/obsv"
+)
 
 func TestRunTable1(t *testing.T) {
 	if err := run([]string{"-table1"}); err != nil {
@@ -14,6 +20,37 @@ func TestRunFigureTiny(t *testing.T) {
 	}
 }
 
+// TestRunTraceDirAndProgress drives the new observability flags end to end:
+// -tracedir must leave parseable obsv/v1 JSONL files behind and -progress
+// must not perturb the run.
+func TestRunTraceDirAndProgress(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-fig", "16", "-sizes", "20", "-tracedir", dir, "-progress", "-parallel", "2"}); err != nil {
+		t.Fatalf("run with -tracedir: %v", err)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("-tracedir produced no JSONL files")
+	}
+	for _, name := range files {
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := obsv.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(recs) == 0 {
+			t.Fatalf("%s: empty trace file", name)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	tests := []struct {
 		name string
@@ -24,6 +61,7 @@ func TestRunErrors(t *testing.T) {
 		{name: "unknown extension", args: []string{"-ext", "bogus"}},
 		{name: "bad sizes", args: []string{"-fig", "10", "-sizes", "abc"}},
 		{name: "bad flag", args: []string{"-nope"}},
+		{name: "unwritable tracedir", args: []string{"-fig", "16", "-sizes", "20", "-tracedir", "/dev/null/traces"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -94,7 +94,12 @@ func crashSweep(rc RunConfig, id, title, unit string, metric func(sim.Result) fl
 			for _, frac := range rc.CrashFractions {
 				frac, v := frac, v
 				pct := int(math.Round(100 * frac))
-				sum, err := rc.replicate(func(i int) (float64, error) {
+				point := fmt.Sprintf("%s/%s/crash=%d/d=%d", id, v.label, pct, d)
+				sink, err := rc.newTraceSink(point)
+				if err != nil {
+					return Figure{}, err
+				}
+				sum, err := rc.replicate(point, func(i int) (float64, error) {
 					seed := workloadSeed(rc.Seed, 100, d, i)
 					w, err := workloads.get(workloadKey{seed: seed, n: 100, d: d})
 					if err != nil {
@@ -107,18 +112,26 @@ func crashSweep(rc RunConfig, id, title, unit string, metric func(sim.Result) fl
 					if err != nil {
 						return 0, err
 					}
-					res, err := sim.Run(w.net.G, w.source, v.make(), sim.Config{
+					cfg := sim.Config{
 						Hops:         2,
 						Seed:         seed + 1,
 						LossRate:     crashAmbientLoss,
 						Faults:       plan,
 						NACKRecovery: v.nack,
-					})
+					}
+					flush := sink.instrument(&cfg, i)
+					res, err := sim.Run(w.net.G, w.source, v.make(), cfg)
 					if err != nil {
+						return 0, err
+					}
+					if err := flush(); err != nil {
 						return 0, err
 					}
 					return metric(res), nil
 				})
+				if cerr := sink.close(); err == nil && cerr != nil {
+					err = cerr
+				}
 				if err != nil {
 					return Figure{}, fmt.Errorf("%s %s crash %d%%: %w", id, v.label, pct, err)
 				}
@@ -149,23 +162,36 @@ func LossDegradation(rc RunConfig) (Figure, error) {
 			for _, rate := range rc.LossRates {
 				rate, v := rate, v
 				pct := int(math.Round(100 * rate))
-				sum, err := rc.replicate(func(i int) (float64, error) {
+				point := fmt.Sprintf("D3/%s/loss=%d/d=%d", v.label, pct, d)
+				sink, err := rc.newTraceSink(point)
+				if err != nil {
+					return Figure{}, err
+				}
+				sum, err := rc.replicate(point, func(i int) (float64, error) {
 					seed := workloadSeed(rc.Seed, 100, d, i)
 					w, err := workloads.get(workloadKey{seed: seed, n: 100, d: d})
 					if err != nil {
 						return 0, err
 					}
-					res, err := sim.Run(w.net.G, w.source, v.make(), sim.Config{
+					cfg := sim.Config{
 						Hops:         2,
 						Seed:         seed + 1,
 						LossRate:     rate,
 						NACKRecovery: v.nack,
-					})
+					}
+					flush := sink.instrument(&cfg, i)
+					res, err := sim.Run(w.net.G, w.source, v.make(), cfg)
 					if err != nil {
+						return 0, err
+					}
+					if err := flush(); err != nil {
 						return 0, err
 					}
 					return 100 * res.DeliveryRatio(), nil
 				})
+				if cerr := sink.close(); err == nil && cerr != nil {
+					err = cerr
+				}
 				if err != nil {
 					return Figure{}, fmt.Errorf("D3 %s loss %d%%: %w", v.label, pct, err)
 				}

@@ -47,6 +47,18 @@ type RunConfig struct {
 	// LossRates lists the loss-rate sweep values of the degradation
 	// experiments (default 0, 0.05, 0.1, 0.2, 0.3).
 	LossRates []float64
+	// TraceDir, when non-empty, exports every replicate of every data point
+	// as JSONL (one file per point, see internal/obsv): a versioned run
+	// record with counters, latency histogram, and forward-set distribution,
+	// followed by the replicate's full event trace. Tracing attaches an
+	// Observer and Metrics record to each run, so instrumented results can
+	// differ from uninstrumented ones only in cost, never in values.
+	TraceDir string
+	// Progress, when non-nil, receives a replication-progress update for
+	// every completed replicate of every data point, keyed by the point
+	// label. Points are measured concurrently, so the callback must be safe
+	// for concurrent use. It never affects measured results.
+	Progress func(point string, u stats.ProgressUpdate)
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -85,12 +97,17 @@ func (c RunConfig) withDefaults() RunConfig {
 
 // replicate runs one data point's replication loop through the serial or
 // parallel engine according to ReplicateParallelism. Both paths produce
-// bit-identical summaries for the same sample function.
-func (c RunConfig) replicate(sample func(i int) (float64, error)) (stats.Summary, error) {
-	if c.ReplicateParallelism > 1 {
-		return stats.RunUntilCIParallel(c.Replicate, c.ReplicateParallelism, sample)
+// bit-identical summaries (and progress sequences) for the same sample
+// function. point names the data point in progress updates and trace files.
+func (c RunConfig) replicate(point string, sample func(i int) (float64, error)) (stats.Summary, error) {
+	opts := c.Replicate
+	if c.Progress != nil {
+		opts.Progress = func(u stats.ProgressUpdate) { c.Progress(point, u) }
 	}
-	return stats.RunUntilCI(c.Replicate, sample)
+	if c.ReplicateParallelism > 1 {
+		return stats.RunUntilCIParallel(opts, c.ReplicateParallelism, sample)
+	}
+	return stats.RunUntilCI(opts, sample)
 }
 
 // Paper returns the paper's replication criterion: repeat until the 90%
@@ -155,9 +172,16 @@ type variant struct {
 // measure averages the forward-node count of one variant at one (n, d)
 // point. Replication i uses the same workload for every variant: the
 // connected network and random source come from the shared workload cache,
-// so a panel's variants generate each workload once between them.
-func measure(rc RunConfig, n, d int, v variant) (stats.Summary, error) {
-	return rc.replicate(func(i int) (float64, error) {
+// so a panel's variants generate each workload once between them. prefix
+// disambiguates the data point across figures and panels for progress and
+// trace output.
+func measure(rc RunConfig, prefix string, n, d int, v variant) (stats.Summary, error) {
+	point := fmt.Sprintf("%s/%s/n=%d/d=%d", prefix, v.label, n, d)
+	sink, err := rc.newTraceSink(point)
+	if err != nil {
+		return stats.Summary{}, err
+	}
+	sum, err := rc.replicate(point, func(i int) (float64, error) {
 		seed := workloadSeed(rc.Seed, n, d, i)
 		w, err := workloads.get(workloadKey{seed: seed, n: n, d: d})
 		if err != nil {
@@ -165,8 +189,12 @@ func measure(rc RunConfig, n, d int, v variant) (stats.Summary, error) {
 		}
 		cfg := v.cfg
 		cfg.Seed = seed + 1
+		flush := sink.instrument(&cfg, i)
 		res, err := sim.Run(w.net.G, w.source, v.make(), cfg)
 		if err != nil {
+			return 0, err
+		}
+		if err := flush(); err != nil {
 			return 0, err
 		}
 		if !res.FullDelivery() {
@@ -175,6 +203,10 @@ func measure(rc RunConfig, n, d int, v variant) (stats.Summary, error) {
 		}
 		return float64(res.ForwardCount()), nil
 	})
+	if cerr := sink.close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	return sum, err
 }
 
 // workloadSeed derives a deterministic seed from the experiment inputs.
@@ -187,8 +219,10 @@ func workloadSeed(base int64, n, d, rep int) int64 {
 
 // sweep builds one panel from the given variants, measuring the (variant,
 // size) points on a bounded worker pool. Each point is fully determined by
-// its inputs, so the parallel schedule never changes the results.
-func sweep(rc RunConfig, title string, d int, variants []variant) (Panel, error) {
+// its inputs, so the parallel schedule never changes the results. prefix
+// names the figure (or experiment) the panel belongs to, for progress and
+// trace point labels.
+func sweep(rc RunConfig, prefix, title string, d int, variants []variant) (Panel, error) {
 	type job struct {
 		vi, ni int
 	}
@@ -214,7 +248,7 @@ func sweep(rc RunConfig, title string, d int, variants []variant) (Panel, error)
 			defer wg.Done()
 			for j := range jobs {
 				v, n := variants[j.vi], rc.Sizes[j.ni]
-				sum, err := measure(rc, n, d, v)
+				sum, err := measure(rc, prefix+"/"+title, n, d, v)
 				if err != nil {
 					// Each job owns its error slot; the pool keeps
 					// draining so it always terminates.

@@ -62,11 +62,11 @@ func TestMeasureCommonRandomNumbers(t *testing.T) {
 	mk := func() sim.Protocol { return protocol.Generic(protocol.TimingFirstReceipt) }
 	v1 := variant{label: "a", cfg: sim.Config{Hops: 2}, make: mk}
 	v2 := variant{label: "b", cfg: sim.Config{Hops: 2}, make: mk}
-	s1, err := measure(rc, 20, 6, v1)
+	s1, err := measure(rc, "test", 20, 6, v1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := measure(rc, 20, 6, v2)
+	s2, err := measure(rc, "test", 20, 6, v2)
 	if err != nil {
 		t.Fatal(err)
 	}

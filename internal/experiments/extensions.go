@@ -45,7 +45,8 @@ func Mobility(rc RunConfig) (Figure, error) {
 		for _, v := range variants {
 			s := Series{Label: v.label}
 			for _, step := range steps {
-				sum, err := rc.replicate(func(i int) (float64, error) {
+				point := fmt.Sprintf("M1/%s/step=%d/d=%d", v.label, step, d)
+				sum, err := rc.replicate(point, func(i int) (float64, error) {
 					seed := workloadSeed(rc.Seed, 100, d, i) ^ int64(step<<32)
 					// No workload cache here: the perturbation consumes the
 					// same rng stream right after generation, so caching the
@@ -98,7 +99,8 @@ func Reliability(rc RunConfig) (Figure, error) {
 		for _, v := range variants {
 			s := Series{Label: v.label}
 			for _, j := range jitters {
-				sum, err := rc.replicate(func(i int) (float64, error) {
+				point := fmt.Sprintf("R1/%s/jitter=%d/d=%d", v.label, j, d)
+				sum, err := rc.replicate(point, func(i int) (float64, error) {
 					seed := workloadSeed(rc.Seed, 100, d, i) ^ int64(j<<40)
 					w, err := workloads.get(workloadKey{seed: seed, n: 100, d: d})
 					if err != nil {
@@ -143,7 +145,7 @@ func PiggybackAblation(rc RunConfig) (Figure, error) {
 				cfg:   sim.Config{Hops: 2, PiggybackDepth: h},
 				make:  func() sim.Protocol { return protocol.Generic(protocol.TimingFirstReceipt) },
 			}
-			sum, err := measure(rc, 100, d, v)
+			sum, err := measure(rc, "A1", 100, d, v)
 			if err != nil {
 				return Figure{}, err
 			}
@@ -176,7 +178,7 @@ func BackoffAblation(rc RunConfig) (Figure, error) {
 					cfg:   sim.Config{Hops: 2, BackoffWindow: float64(w)},
 					make:  func() sim.Protocol { return protocol.Generic(timing) },
 				}
-				sum, err := measure(rc, 100, d, v)
+				sum, err := measure(rc, "A2/"+timing.String(), 100, d, v)
 				if err != nil {
 					return Figure{}, err
 				}
@@ -213,7 +215,7 @@ func VisitedUnionAblation(rc RunConfig) (Figure, error) {
 	}
 	fig := Figure{ID: "A3", Title: "Ablation: the visited-union assumption (Generic-FR, 2-hop)"}
 	for _, d := range rc.Degrees {
-		panel, err := sweep(rc, fmt.Sprintf("d=%d", d), d, variants)
+		panel, err := sweep(rc, "A3", fmt.Sprintf("d=%d", d), d, variants)
 		if err != nil {
 			return Figure{}, err
 		}
@@ -267,7 +269,8 @@ func Clustering(rc RunConfig) (Figure, error) {
 	for _, m := range methods {
 		s := Series{Label: m.label}
 		for _, d := range degrees {
-			sum, err := rc.replicate(func(i int) (float64, error) {
+			point := fmt.Sprintf("C1/%s/d=%d", m.label, d)
+			sum, err := rc.replicate(point, func(i int) (float64, error) {
 				seed := workloadSeed(rc.Seed, 100, d, i)
 				w, err := workloads.get(workloadKey{seed: seed, n: 100, d: d})
 				if err != nil {
@@ -312,19 +315,29 @@ func Latency(rc RunConfig) (Figure, error) {
 			s := Series{Label: timing.String()}
 			for _, n := range rc.Sizes {
 				n := n
-				sum, err := rc.replicate(func(i int) (float64, error) {
+				point := fmt.Sprintf("L1/%s/n=%d/d=%d", timing, n, d)
+				sink, err := rc.newTraceSink(point)
+				if err != nil {
+					return Figure{}, err
+				}
+				sum, err := rc.replicate(point, func(i int) (float64, error) {
 					seed := workloadSeed(rc.Seed, n, d, i)
 					w, err := workloads.get(workloadKey{seed: seed, n: n, d: d})
 					if err != nil {
 						return 0, err
 					}
 					rec := &sim.Recorder{}
-					res, err := sim.Run(w.net.G, w.source, protocol.Generic(timing), sim.Config{
+					cfg := sim.Config{
 						Hops:     2,
 						Seed:     seed + 1,
 						Observer: rec,
-					})
+					}
+					flush := sink.instrument(&cfg, i)
+					res, err := sim.Run(w.net.G, w.source, protocol.Generic(timing), cfg)
 					if err != nil {
+						return 0, err
+					}
+					if err := flush(); err != nil {
 						return 0, err
 					}
 					if !res.FullDelivery() {
@@ -332,6 +345,9 @@ func Latency(rc RunConfig) (Figure, error) {
 					}
 					return rec.MeanDeliveryLatency(), nil
 				})
+				if cerr := sink.close(); err == nil && cerr != nil {
+					err = cerr
+				}
 				if err != nil {
 					return Figure{}, fmt.Errorf("latency %s n=%d: %w", timing, n, err)
 				}

@@ -136,7 +136,7 @@ func buildFigure(rc RunConfig, id, title string, hops []int, variants []variant,
 	fig := Figure{ID: id, Title: title}
 	for _, d := range rc.Degrees {
 		if len(hops) == 0 {
-			panel, err := sweep(rc, fmt.Sprintf("d=%d", d), d, variants)
+			panel, err := sweep(rc, "fig"+id, fmt.Sprintf("d=%d", d), d, variants)
 			if err != nil {
 				return Figure{}, err
 			}
@@ -152,7 +152,7 @@ func buildFigure(rc RunConfig, id, title string, hops []int, variants []variant,
 				v.cfg.Hops = k
 				vs = append(vs, v)
 			}
-			panel, err := sweep(rc, fmt.Sprintf("d=%d, %d-hop", d, k), d, vs)
+			panel, err := sweep(rc, "fig"+id, fmt.Sprintf("d=%d, %d-hop", d, k), d, vs)
 			if err != nil {
 				return Figure{}, err
 			}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"adhocbcast/internal/obsv"
+	"adhocbcast/internal/sim"
+)
+
+// traceSink writes the JSONL observability export of one data point: for
+// every replicate, one obsv run record followed by the replicate's trace
+// events. Replicates may run concurrently (RunUntilCIParallel), so each
+// replicate's lines are buffered and appended in one locked write — lines of
+// different replicates may interleave in the file, but every line carries its
+// (point, rep) key and a single replicate's lines stay contiguous and
+// ordered. A nil *traceSink is a no-op, which is how the drivers stay
+// zero-cost when no trace directory is configured.
+type traceSink struct {
+	point string
+	mu    sync.Mutex
+	f     *os.File
+	w     *obsv.Writer
+	err   error // first write error; reported once at close
+}
+
+// newTraceSink opens the sink for one data point under c.TraceDir, or
+// returns nil when tracing is off. The file name is derived from the point
+// label, one file per data point.
+func (c RunConfig) newTraceSink(point string) (*traceSink, error) {
+	if c.TraceDir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(c.TraceDir, 0o755); err != nil {
+		return nil, err
+	}
+	name := filepath.Join(c.TraceDir, sanitizePoint(point)+".jsonl")
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &traceSink{point: point, f: f, w: obsv.NewWriter(f)}, nil
+}
+
+// sanitizePoint keeps point labels filesystem-safe.
+func sanitizePoint(point string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.', r == '=':
+			return r
+		default:
+			return '_'
+		}
+	}, point)
+}
+
+// instrument prepares one replicate for tracing: it attaches a metrics
+// record and (unless the driver already installed its own Recorder) a trace
+// recorder to cfg, and returns a flush function that writes the replicate's
+// records after the run. With a nil sink both cfg and the returned flush are
+// no-ops.
+func (s *traceSink) instrument(cfg *sim.Config, rep int) func() error {
+	if s == nil {
+		return func() error { return nil }
+	}
+	rec, ok := cfg.Observer.(*sim.Recorder)
+	if !ok {
+		rec = &sim.Recorder{}
+		cfg.Observer = rec
+	}
+	rr := obsv.NewRunRecord()
+	cfg.Metrics = rr
+	return func() error { return s.write(rep, rr, rec.Records()) }
+}
+
+// write appends one replicate's run record and trace events atomically.
+func (s *traceSink) write(rep int, rr *obsv.RunRecord, events []obsv.TraceEvent) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.w.Write(obsv.Record{Kind: obsv.KindRun, Point: s.point, Rep: rep, Run: rr}); err != nil {
+		s.err = err
+		return err
+	}
+	for i := range events {
+		if err := s.w.Write(obsv.Record{Kind: obsv.KindTrace, Point: s.point, Rep: rep, Event: &events[i]}); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// close flushes and closes the sink's file, reporting any deferred write
+// error. Safe on a nil sink.
+func (s *traceSink) close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cerr := s.f.Close()
+	if s.err != nil {
+		return fmt.Errorf("experiments: trace %s: %w", s.point, s.err)
+	}
+	if cerr != nil {
+		return fmt.Errorf("experiments: trace %s: %w", s.point, cerr)
+	}
+	return nil
+}

@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"adhocbcast/internal/obsv"
+	"adhocbcast/internal/stats"
+)
+
+// readTraceFiles parses every JSONL file under dir, grouped by file name.
+func readTraceFiles(t *testing.T, dir string) map[string][]obsv.Record {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string][]obsv.Record{}
+	for _, name := range names {
+		f, err := os.Open(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := obsv.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[filepath.Base(name)] = recs
+	}
+	return out
+}
+
+// TestTraceDirExportsFigurePoints runs a tiny figure sweep with tracing
+// enabled and validates the export end to end: one file per data point,
+// every line round-trips through the versioned reader, each replicate has
+// one run record whose counters close the conservation identity, and the
+// figure's numbers are identical to an untraced run.
+func TestTraceDirExportsFigurePoints(t *testing.T) {
+	rc := tinyConfig()
+	plain, err := Figure10(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rc.TraceDir = t.TempDir()
+	rc.ReplicateParallelism = 3 // concurrent replicates must not corrupt files
+	traced, err := Figure10(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, traced) {
+		t.Fatal("tracing changed the figure's numbers")
+	}
+
+	files := readTraceFiles(t, rc.TraceDir)
+	// 4 variants x 2 sizes x 1 degree.
+	if len(files) != 8 {
+		names := make([]string, 0, len(files))
+		for n := range files {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		t.Fatalf("trace files = %d (%v), want 8", len(files), names)
+	}
+	for name, recs := range files {
+		runs := map[int]*obsv.RunRecord{}
+		events := 0
+		for _, rec := range recs {
+			switch rec.Kind {
+			case obsv.KindRun:
+				if runs[rec.Rep] != nil {
+					t.Fatalf("%s: duplicate run record for rep %d", name, rec.Rep)
+				}
+				runs[rec.Rep] = rec.Run
+			case obsv.KindTrace:
+				events++
+			}
+		}
+		if len(runs) < rc.Replicate.MinRuns {
+			t.Fatalf("%s: %d run records, want at least MinRuns=%d",
+				name, len(runs), rc.Replicate.MinRuns)
+		}
+		if events == 0 {
+			t.Fatalf("%s: no trace events exported", name)
+		}
+		for rep, rr := range runs {
+			if !rr.Conserved() {
+				t.Fatalf("%s rep %d: conservation identity broken: %+v", name, rep, rr)
+			}
+			if rr.Delivered != rr.N {
+				t.Fatalf("%s rep %d: partial delivery %d/%d in a fault-free figure run",
+					name, rep, rr.Delivered, rr.N)
+			}
+			if rr.Latency.Count != uint64(rr.Delivered) {
+				t.Fatalf("%s rep %d: %d latency observations for %d delivered nodes",
+					name, rep, rr.Latency.Count, rr.Delivered)
+			}
+			if rr.ForwardSet.Count != uint64(rr.Forward) {
+				t.Fatalf("%s rep %d: %d forward-set observations for %d forwards",
+					name, rep, rr.ForwardSet.Count, rr.Forward)
+			}
+		}
+	}
+}
+
+// TestTraceDirFaultyRunConservation is the acceptance golden for metrics on
+// a faulty run: a crash-degradation sweep with tracing must export run
+// records whose per-cause drop counters (node down, loss) close the
+// conservation identity, with actual fault drops present.
+func TestTraceDirFaultyRunConservation(t *testing.T) {
+	rc := degradeTestConfig(21)
+	rc.TraceDir = t.TempDir()
+	if _, err := CrashDegradation(rc); err != nil {
+		t.Fatal(err)
+	}
+	files := readTraceFiles(t, rc.TraceDir)
+	if len(files) == 0 {
+		t.Fatal("no trace files exported")
+	}
+	runs, faultDrops, lost := 0, 0, 0
+	for name, recs := range files {
+		for _, rec := range recs {
+			if rec.Kind != obsv.KindRun {
+				continue
+			}
+			runs++
+			if !rec.Run.Conserved() {
+				t.Fatalf("%s rep %d: receipts %d + lost %d + collided %d + faultDrops %d != copies %d",
+					name, rec.Rep, rec.Run.Receipts, rec.Run.Lost, rec.Run.Collided,
+					rec.Run.FaultDrops(), rec.Run.Copies)
+			}
+			faultDrops += rec.Run.FaultDrops()
+			lost += rec.Run.Lost
+		}
+	}
+	if runs == 0 {
+		t.Fatal("no run records exported")
+	}
+	if faultDrops == 0 {
+		t.Fatal("crash sweep exported no fault drops; the faulty-run check is vacuous")
+	}
+	if lost == 0 {
+		t.Fatal("lossy sweep exported no lost copies; the faulty-run check is vacuous")
+	}
+}
+
+// TestProgressCallbackPerPoint checks the RunConfig progress plumbing: every
+// data point reports once per replicate under its own label, and the final
+// update per point is terminal (converged or exhausted).
+func TestProgressCallbackPerPoint(t *testing.T) {
+	rc := tinyConfig()
+	var mu sync.Mutex
+	perPoint := map[string][]stats.ProgressUpdate{}
+	rc.Progress = func(point string, u stats.ProgressUpdate) {
+		mu.Lock()
+		defer mu.Unlock()
+		perPoint[point] = append(perPoint[point], u)
+	}
+	fig, err := Figure10(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perPoint) != 8 { // 4 variants x 2 sizes
+		t.Fatalf("progress for %d points, want 8: %v", len(perPoint), pointNames(perPoint))
+	}
+	totalRuns := 0
+	for _, s := range fig.Panels[0].Series {
+		for _, p := range s.Points {
+			totalRuns += p.Runs
+		}
+	}
+	reported := 0
+	for point, updates := range perPoint {
+		last := updates[len(updates)-1]
+		if !last.Converged && !last.Exhausted {
+			t.Fatalf("%s: final update %+v is not terminal", point, last)
+		}
+		for i, u := range updates {
+			if u.Exhausted {
+				continue // the extra exhaustion update repeats the last Done
+			}
+			if u.Done != i+1 {
+				t.Fatalf("%s: update %d has Done=%d", point, i, u.Done)
+			}
+			reported++
+		}
+	}
+	if reported != totalRuns {
+		t.Fatalf("progress reported %d replicates, figure used %d", reported, totalRuns)
+	}
+}
+
+func pointNames(m map[string][]stats.ProgressUpdate) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,122 @@
+package obsv
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SchemaVersion tags every exported JSONL line. Readers must reject lines
+// whose schema they do not understand; any change to the record layouts or
+// the default histogram buckets bumps this string.
+const SchemaVersion = "obsv/v1"
+
+// Record kinds.
+const (
+	// KindRun lines carry one RunRecord.
+	KindRun = "run"
+	// KindTrace lines carry one trace event.
+	KindTrace = "trace"
+)
+
+// TraceEvent is the export form of one simulation trace event. It mirrors
+// sim.TraceEvent without importing the simulator, keeping this package
+// dependency-free.
+type TraceEvent struct {
+	// Kind is "transmit", "deliver", or "non-forward".
+	Kind string `json:"kind"`
+	// At is the simulation time.
+	At float64 `json:"at"`
+	// Node is the acting node.
+	Node int `json:"node"`
+	// From is the sender for deliver events; -1 otherwise (and for the
+	// source's own t=0 delivery, which no one transmitted).
+	From int `json:"from"`
+	// Designated carries the designated forward set of transmit events.
+	Designated []int `json:"designated,omitempty"`
+}
+
+// Record is one JSONL line: a versioned envelope around either a run record
+// or a trace event, keyed by the data point and replication that produced it.
+// Lines from concurrent replicates may interleave in a shared file; (Point,
+// Rep) recovers the grouping.
+type Record struct {
+	// Schema is SchemaVersion; Write fills it in, Read rejects mismatches.
+	Schema string `json:"schema"`
+	// Kind selects the payload: KindRun or KindTrace.
+	Kind string `json:"kind"`
+	// Point identifies the data point (e.g. "fig10/FR/n=60/d=6").
+	Point string `json:"point,omitempty"`
+	// Rep is the replication index within the point.
+	Rep int `json:"rep"`
+	// Run is the payload of KindRun lines.
+	Run *RunRecord `json:"run,omitempty"`
+	// Event is the payload of KindTrace lines.
+	Event *TraceEvent `json:"event,omitempty"`
+}
+
+// Writer emits Records as JSON lines.
+type Writer struct {
+	w   io.Writer
+	buf bytes.Buffer
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write emits one record, stamping the schema version.
+func (w *Writer) Write(rec Record) error {
+	rec.Schema = SchemaVersion
+	if rec.Kind != KindRun && rec.Kind != KindTrace {
+		return fmt.Errorf("obsv: unknown record kind %q", rec.Kind)
+	}
+	w.buf.Reset()
+	enc := json.NewEncoder(&w.buf)
+	if err := enc.Encode(rec); err != nil {
+		return err
+	}
+	_, err := w.w.Write(w.buf.Bytes())
+	return err
+}
+
+// Read parses a JSONL stream of Records, rejecting unknown schema versions
+// and malformed lines. Blank lines are skipped.
+func Read(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("obsv: line %d: %w", line, err)
+		}
+		if rec.Schema != SchemaVersion {
+			return nil, fmt.Errorf("obsv: line %d: schema %q, want %q", line, rec.Schema, SchemaVersion)
+		}
+		switch rec.Kind {
+		case KindRun:
+			if rec.Run == nil {
+				return nil, fmt.Errorf("obsv: line %d: run record without run payload", line)
+			}
+		case KindTrace:
+			if rec.Event == nil {
+				return nil, fmt.Errorf("obsv: line %d: trace record without event payload", line)
+			}
+		default:
+			return nil, fmt.Errorf("obsv: line %d: unknown kind %q", line, rec.Kind)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

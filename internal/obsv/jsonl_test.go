@@ -1,0 +1,135 @@
+package obsv
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func sampleRun() *RunRecord {
+	r := NewRunRecord()
+	r.N = 3
+	r.Delivered = 3
+	r.Forward = 2
+	r.Copies = 3
+	r.Receipts = 3
+	r.Reachable = 3
+	r.DeliveredReachable = 3
+	r.Finish = 2
+	r.Latency.Observe(0)
+	r.Latency.Observe(1)
+	r.Latency.Observe(2)
+	r.ForwardSet.Observe(0)
+	r.ForwardSet.Observe(0)
+	return r
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	in := []Record{
+		{Kind: KindRun, Point: "fig10/FR/n=20/d=6", Rep: 0, Run: sampleRun()},
+		{Kind: KindTrace, Point: "fig10/FR/n=20/d=6", Rep: 0,
+			Event: &TraceEvent{Kind: "deliver", At: 0, Node: 0, From: -1}},
+		{Kind: KindTrace, Point: "fig10/FR/n=20/d=6", Rep: 0,
+			Event: &TraceEvent{Kind: "transmit", At: 0, Node: 0, From: -1, Designated: []int{1, 2}}},
+	}
+	for _, rec := range in {
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read %d records, wrote %d", len(out), len(in))
+	}
+	for i := range in {
+		in[i].Schema = SchemaVersion
+		if !reflect.DeepEqual(out[i], in[i]) {
+			t.Fatalf("record %d round-trip mismatch:\n got %+v\nwant %+v", i, out[i], in[i])
+		}
+	}
+	if !out[0].Run.Conserved() {
+		t.Fatalf("round-tripped run record lost conservation: %+v", out[0].Run)
+	}
+}
+
+func TestJSONLRejectsBadInput(t *testing.T) {
+	tests := []struct {
+		name, line string
+	}{
+		{name: "wrong schema", line: `{"schema":"obsv/v0","kind":"run","rep":0,"run":{}}`},
+		{name: "missing schema", line: `{"kind":"run","rep":0,"run":{}}`},
+		{name: "unknown kind", line: `{"schema":"obsv/v1","kind":"bogus","rep":0}`},
+		{name: "run without payload", line: `{"schema":"obsv/v1","kind":"run","rep":0}`},
+		{name: "trace without payload", line: `{"schema":"obsv/v1","kind":"trace","rep":0}`},
+		{name: "malformed json", line: `{"schema":`},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Read(strings.NewReader(tt.line + "\n")); err == nil {
+				t.Fatalf("Read accepted %s", tt.line)
+			}
+		})
+	}
+}
+
+func TestJSONLSkipsBlankLines(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Record{Kind: KindRun, Run: sampleRun()}); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("\n\n")
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("read %d records, want 1", len(out))
+	}
+}
+
+func TestWriterRejectsUnknownKind(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Write(Record{Kind: "bogus"}); err == nil {
+		t.Fatal("Write accepted an unknown kind")
+	}
+}
+
+// TestJSONLGolden pins the exported schema: field names, bucket layouts, and
+// the envelope are a versioned contract that offline tooling parses, so any
+// change here must bump SchemaVersion.
+func TestJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	run := NewRunRecord()
+	run.N = 2
+	run.Delivered = 2
+	run.Forward = 1
+	run.Copies = 1
+	run.Receipts = 1
+	run.Reachable = 2
+	run.DeliveredReachable = 2
+	run.Finish = 1
+	run.Latency.Observe(0)
+	run.Latency.Observe(1)
+	run.ForwardSet.Observe(0)
+	if err := w.Write(Record{Kind: KindRun, Point: "p", Rep: 0, Run: run}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{Kind: KindTrace, Point: "p", Rep: 0,
+		Event: &TraceEvent{Kind: "transmit", At: 0, Node: 0, From: -1}}); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema":"obsv/v1","kind":"run","point":"p","rep":0,"run":{"n":2,"delivered":2,"forward":1,"copies":1,"receipts":1,"lost":0,"collided":0,"dropped_node_down":0,"dropped_link_down":0,"timers_cancelled":0,"nacks":0,"retransmits":0,"reachable":2,"delivered_reachable":2,"finish":1,"latency":{"bounds":[0,1,2,3,4,6,8,12,16,24,32,48,64],"counts":[1,1,0,0,0,0,0,0,0,0,0,0,0,0],"count":2,"sum":1,"min":0,"max":1},"forward_set":{"bounds":[0,1,2,3,4,5,6,8,10,12,16,24,32],"counts":[1,0,0,0,0,0,0,0,0,0,0,0,0,0],"count":1,"sum":0,"min":0,"max":0}}}
+{"schema":"obsv/v1","kind":"trace","point":"p","rep":0,"event":{"kind":"transmit","at":0,"node":0,"from":-1}}
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("golden mismatch:\n got: %s\nwant: %s", got, want)
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"adhocbcast/internal/fault"
 	"adhocbcast/internal/graph"
+	"adhocbcast/internal/obsv"
 	"adhocbcast/internal/view"
 )
 
@@ -25,6 +26,13 @@ type Config struct {
 	// Observer, when non-nil, receives transmit/deliver/non-forward events
 	// as they happen (see Recorder for a ready-made implementation).
 	Observer Observer
+	// Metrics, when non-nil, is populated with the run's counters, the
+	// first-delivery latency histogram, and the forward-set size
+	// distribution (see obsv.RunRecord). The record is Reset at the start
+	// of the run so one allocation can serve a whole sweep. Nil (the
+	// default) skips all metric work and keeps runs byte-identical to the
+	// uninstrumented simulator.
+	Metrics *obsv.RunRecord
 	// ViewTopology, when non-nil, is the (possibly stale) topology the
 	// local views are built from, while transmissions propagate over the
 	// actual graph passed to Run. It models views assembled from hello

@@ -203,6 +203,9 @@ func Run(g *graph.Graph, source int, p Protocol, cfg Config) (Result, error) {
 		rngs:     newStreams(cfg.Seed),
 		plan:     cfg.Faults,
 	}
+	if m := net.Cfg.Metrics; m != nil {
+		m.Reset()
+	}
 	net.build()
 	p.Init(net)
 	net.deliverToSource()
@@ -232,12 +235,20 @@ func (net *Network) build() {
 }
 
 // deliverToSource marks the source as having the packet so that protocols
-// can treat it uniformly.
+// can treat it uniformly. The source's first delivery is reported at t=0
+// with sender -1 — it holds the packet from the start, so latency statistics
+// must not wait for a neighbor's retransmission to echo back.
 func (net *Network) deliverToSource() {
 	st := net.nodes[net.Source]
 	st.Received = true
 	st.FirstPacket = Packet{Source: net.Source}
 	st.LastPacket = st.FirstPacket
+	if net.Cfg.Observer != nil {
+		net.Cfg.Observer.OnDeliver(net.Source, -1, 0)
+	}
+	if net.Cfg.Metrics != nil {
+		net.Cfg.Metrics.Latency.Observe(0)
+	}
 }
 
 // down reports whether node v is down (crashed or churned) at the current
@@ -356,6 +367,9 @@ func (net *Network) handleReceive(v int, r Receipt, attempt int) {
 	}
 	st := net.nodes[v]
 	first := !st.Received
+	if first && net.Cfg.Metrics != nil {
+		net.Cfg.Metrics.Latency.Observe(net.now)
+	}
 	st.Received = true
 	if first {
 		st.FirstFrom = r.From
@@ -506,6 +520,23 @@ func (net *Network) result() Result {
 				res.Receipts, res.Lost, res.Collided, res.FaultDrops(), res.Copies))
 		}
 	}
+	if m := net.Cfg.Metrics; m != nil {
+		m.N = res.N
+		m.Delivered = res.Delivered
+		m.Forward = len(res.Forward)
+		m.Copies = res.Copies
+		m.Receipts = res.Receipts
+		m.Lost = res.Lost
+		m.Collided = res.Collided
+		m.DroppedNodeDown = res.DroppedNodeDown
+		m.DroppedLinkDown = res.DroppedLinkDown
+		m.TimersCancelled = res.TimersCancelled
+		m.NACKs = res.NACKs
+		m.Retransmits = res.Retransmits
+		m.Reachable = res.Reachable
+		m.DeliveredReachable = res.DeliveredReachable
+		m.Finish = res.Finish
+	}
 	return res
 }
 
@@ -588,6 +619,9 @@ func (net *Network) TransmitExtra(v int, designated, extra []int) {
 	net.forward = append(net.forward, v)
 	if net.Cfg.Observer != nil {
 		net.Cfg.Observer.OnTransmit(v, net.now, designated)
+	}
+	if net.Cfg.Metrics != nil {
+		net.Cfg.Metrics.ForwardSet.Observe(float64(len(designated)))
 	}
 
 	trail := st.LastPacket.Trail

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"adhocbcast/internal/obsv"
 )
 
 // Observer receives simulation events as they happen; attach one through
@@ -13,7 +15,8 @@ type Observer interface {
 	// OnTransmit fires when node v forwards the packet.
 	OnTransmit(v int, at float64, designated []int)
 	// OnDeliver fires when a packet copy from `from` reaches node v (after
-	// loss and collision filtering).
+	// loss and collision filtering). The source's initial possession of the
+	// packet is reported as a delivery at t=0 with from == -1.
 	OnDeliver(v, from int, at float64)
 	// OnNonForward fires when node v finalizes a non-forward decision.
 	OnNonForward(v int, at float64)
@@ -85,25 +88,55 @@ func (r *Recorder) OnNonForward(v int, at float64) {
 	r.events = append(r.events, TraceEvent{Kind: TraceNonForward, At: at, Node: v, From: -1})
 }
 
-// Events returns the recorded events in occurrence order.
+// Events returns the recorded events in occurrence order. The events are
+// fully cloned — mutating a returned event's Designated slice never aliases
+// the recorder's internal state or earlier returns.
 func (r *Recorder) Events() []TraceEvent {
-	return append([]TraceEvent(nil), r.events...)
+	out := make([]TraceEvent, len(r.events))
+	for i, e := range r.events {
+		out[i] = cloneEvent(e)
+	}
+	return out
 }
 
-// Transmissions returns the transmit events only.
+// Transmissions returns the transmit events only, fully cloned like Events.
 func (r *Recorder) Transmissions() []TraceEvent {
 	var out []TraceEvent
 	for _, e := range r.events {
 		if e.Kind == TraceTransmit {
-			out = append(out, e)
+			out = append(out, cloneEvent(e))
 		}
 	}
 	return out
 }
 
-// DeliveryTimes returns the first delivery time per node id. Note that the
-// source appears too once a neighbor's retransmission echoes back to it;
-// exclude it for end-to-end latency statistics if undesired.
+// cloneEvent deep-copies one trace event.
+func cloneEvent(e TraceEvent) TraceEvent {
+	if e.Designated != nil {
+		e.Designated = append([]int(nil), e.Designated...)
+	}
+	return e
+}
+
+// Records converts the recorded events to their obsv export form, in
+// occurrence order, for JSONL trace export.
+func (r *Recorder) Records() []obsv.TraceEvent {
+	out := make([]obsv.TraceEvent, len(r.events))
+	for i, e := range r.events {
+		out[i] = obsv.TraceEvent{
+			Kind:       e.Kind.String(),
+			At:         e.At,
+			Node:       e.Node,
+			From:       e.From,
+			Designated: append([]int(nil), e.Designated...),
+		}
+	}
+	return out
+}
+
+// DeliveryTimes returns the first delivery time per node id. The source is
+// reported at t=0: it holds the packet from the start, so its entry never
+// depends on a neighbor's retransmission echoing back.
 func (r *Recorder) DeliveryTimes() map[int]float64 {
 	out := make(map[int]float64)
 	for _, e := range r.events {
@@ -129,7 +162,11 @@ func (r *Recorder) Format() string {
 				fmt.Fprintf(&b, "t=%6.2f  node %3d transmits\n", e.At, e.Node)
 			}
 		case TraceDeliver:
-			fmt.Fprintf(&b, "t=%6.2f  node %3d receives from %d\n", e.At, e.Node, e.From)
+			if e.From < 0 {
+				fmt.Fprintf(&b, "t=%6.2f  node %3d holds the packet (source)\n", e.At, e.Node)
+			} else {
+				fmt.Fprintf(&b, "t=%6.2f  node %3d receives from %d\n", e.At, e.Node, e.From)
+			}
 		case TraceNonForward:
 			fmt.Fprintf(&b, "t=%6.2f  node %3d takes non-forward status\n", e.At, e.Node)
 		}

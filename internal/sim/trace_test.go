@@ -37,11 +37,12 @@ func TestRecorderOnPath(t *testing.T) {
 			t.Fatalf("node %d first delivery at %v, want %d", v, times[v], v)
 		}
 	}
-	// The source hears node 1's retransmission echo at t=2.
-	if times[0] != 2 {
-		t.Fatalf("source echo delivery at %v, want 2", times[0])
+	// The source holds the packet from the start: t=0, not the t=2 echo of
+	// node 1's retransmission.
+	if times[0] != 0 {
+		t.Fatalf("source first delivery at %v, want 0", times[0])
 	}
-	want := (2.0 + 1.0 + 2.0 + 3.0) / 4.0
+	want := (0.0 + 1.0 + 2.0 + 3.0) / 4.0
 	if got := rec.MeanDeliveryLatency(); got != want {
 		t.Fatalf("mean latency = %v, want %v", got, want)
 	}
@@ -109,7 +110,84 @@ func TestObserverSeesLossFiltering(t *testing.T) {
 	if len(rec.Transmissions()) != 1 {
 		t.Fatalf("transmissions = %d, want 1", len(rec.Transmissions()))
 	}
-	if len(rec.DeliveryTimes()) != 0 {
-		t.Fatalf("deliveries recorded despite total loss: %v", rec.DeliveryTimes())
+	// Only the source's own t=0 possession is recorded: no transmitted copy
+	// survives the channel.
+	times := rec.DeliveryTimes()
+	if len(times) != 1 || times[0] != 0 {
+		t.Fatalf("deliveries recorded despite total loss: %v", times)
+	}
+}
+
+// TestSourceDeliveryAtZero pins the trace-latency bugfix on a 3-node path:
+// the source's first delivery is reported at t=0 with sender -1, not at t=2
+// when node 1's retransmission echoes back, and the echo does not displace
+// it. Before the fix the source entry was the echo time, skewing
+// MeanDeliveryLatency upward.
+func TestSourceDeliveryAtZero(t *testing.T) {
+	g := pathGraph(t, 3)
+	rec := &sim.Recorder{}
+	res, err := sim.Run(g, 0, protocol.Flooding(), sim.Config{Hops: 2, Observer: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FullDelivery() {
+		t.Fatalf("delivered %d/%d", res.Delivered, res.N)
+	}
+	times := rec.DeliveryTimes()
+	if times[0] != 0 {
+		t.Fatalf("source first delivery at %v, want 0", times[0])
+	}
+	events := rec.Events()
+	if e := events[0]; e.Kind != sim.TraceDeliver || e.Node != 0 || e.At != 0 || e.From != -1 {
+		t.Fatalf("first event is %+v, want source delivery at t=0 from -1", e)
+	}
+	// Flooding on a path: node 1 retransmits, its copy echoes to the source
+	// at t=2; the first-delivery map must keep t=0.
+	echo := false
+	for _, e := range events[1:] {
+		if e.Kind == sim.TraceDeliver && e.Node == 0 && e.At == 2 {
+			echo = true
+		}
+	}
+	if !echo {
+		t.Fatal("expected the t=2 echo delivery at the source to still be traced")
+	}
+	if want := (0.0 + 1.0 + 2.0) / 3.0; rec.MeanDeliveryLatency() != want {
+		t.Fatalf("mean latency = %v, want %v", rec.MeanDeliveryLatency(), want)
+	}
+}
+
+// TestEventsDeepCopy pins the Recorder aliasing bugfix: mutating the
+// Designated slice of a returned event must not corrupt the recorder's
+// internal state or other returned copies.
+func TestEventsDeepCopy(t *testing.T) {
+	g := pathGraph(t, 4)
+	rec := &sim.Recorder{}
+	if _, err := sim.Run(g, 0, protocol.DP(), sim.Config{Hops: 2, Observer: rec}); err != nil {
+		t.Fatal(err)
+	}
+	find := func(events []sim.TraceEvent) *sim.TraceEvent {
+		for i := range events {
+			if events[i].Kind == sim.TraceTransmit && len(events[i].Designated) > 0 {
+				return &events[i]
+			}
+		}
+		return nil
+	}
+	first := find(rec.Events())
+	if first == nil {
+		t.Fatal("no transmit event with a designated set")
+	}
+	want := append([]int(nil), first.Designated...)
+	first.Designated[0] = -99
+	if got := find(rec.Events()); got.Designated[0] != want[0] {
+		t.Fatalf("mutating Events() result leaked into the recorder: got %v, want %v",
+			got.Designated, want)
+	}
+	tx := find(rec.Transmissions())
+	tx.Designated[0] = -77
+	if got := find(rec.Transmissions()); got.Designated[0] != want[0] {
+		t.Fatalf("mutating Transmissions() result leaked into the recorder: got %v, want %v",
+			got.Designated, want)
 	}
 }

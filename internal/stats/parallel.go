@@ -1,7 +1,6 @@
 package stats
 
 import (
-	"math"
 	"sync"
 	"sync/atomic"
 )
@@ -66,7 +65,7 @@ func RunUntilCIParallel(opts ReplicateOptions, workers int, sample func(i int) (
 		}
 		next += wave
 	}
-	return finish(&acc, lastErr)
+	return finish(&acc, opts, lastErr)
 }
 
 // waveSize picks the next wave's replicate count. Before MinRuns samples are
@@ -90,16 +89,7 @@ func waveSize(acc *Accumulator, opts ReplicateOptions, workers int) int {
 }
 
 func estimateRemaining(acc *Accumulator, opts ReplicateOptions) int {
-	s := acc.Summary()
-	if s.Mean == 0 || s.StdDev == 0 {
-		return 1
-	}
-	z := T90(s.N-1) * s.StdDev / (opts.RelTol * math.Abs(s.Mean))
-	needed := math.Ceil(z * z)
-	if needed > float64(opts.MaxRuns) {
-		needed = float64(opts.MaxRuns)
-	}
-	remaining := int(needed) - acc.N()
+	remaining := estimateTotal(acc, opts) - acc.N()
 	if remaining < 1 {
 		remaining = 1
 	}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestZeroMeanConverges is the regression test for the zero-mean CI bug:
+// an all-zero sample (zero mean, zero stddev) has a zero-width interval and
+// must converge at MinRuns. Before the fix RelativeCI returned +Inf for any
+// zero mean, so such a metric could never satisfy RelTol and every data
+// point burned MaxRuns replicates.
+func TestZeroMeanConverges(t *testing.T) {
+	opts := ReplicateOptions{MinRuns: 10, MaxRuns: 500, RelTol: 0.01}
+	zero := func(i int) (float64, error) { return 0, nil }
+
+	calls := 0
+	s, err := RunUntilCI(opts, func(i int) (float64, error) { calls++; return zero(i) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != opts.MinRuns || calls != opts.MinRuns {
+		t.Fatalf("serial: converged after %d samples (%d calls), want MinRuns=%d",
+			s.N, calls, opts.MinRuns)
+	}
+	if s.Mean != 0 || s.RelativeCI() != 0 {
+		t.Fatalf("serial: summary %+v, want zero mean with rel-CI 0", s)
+	}
+
+	ps, err := RunUntilCIParallel(opts, 4, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, ps) {
+		t.Fatalf("parallel summary %+v differs from serial %+v", ps, s)
+	}
+}
+
+// TestZeroMeanWithSpreadStillRunsOut: a zero mean with nonzero spread has no
+// meaningful relative tolerance, so the loop still runs to MaxRuns.
+func TestZeroMeanWithSpreadStillRunsOut(t *testing.T) {
+	opts := ReplicateOptions{MinRuns: 4, MaxRuns: 20, RelTol: 0.01}
+	alternate := func(i int) (float64, error) {
+		if i%2 == 0 {
+			return 1, nil
+		}
+		return -1, nil
+	}
+	s, err := RunUntilCI(opts, alternate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != opts.MaxRuns {
+		t.Fatalf("converged after %d samples, want MaxRuns=%d", s.N, opts.MaxRuns)
+	}
+	// The running mean is zero up to Welford rounding, so the relative CI is
+	// unbounded (or astronomically large) — far above any sane tolerance.
+	if s.RelativeCI() < 1 {
+		t.Fatalf("rel-CI = %v, want an unbounded value for zero mean with spread", s.RelativeCI())
+	}
+}
+
+// TestRelativeCIZeroMeanCases pins the Summary-level rule directly.
+func TestRelativeCIZeroMeanCases(t *testing.T) {
+	if got := (Summary{N: 30, Mean: 0, StdDev: 0}).RelativeCI(); got != 0 {
+		t.Fatalf("all-zero sample rel-CI = %v, want 0", got)
+	}
+	if got := (Summary{N: 30, Mean: 0, StdDev: 1, HalfWidth90: 0.3}).RelativeCI(); !math.IsInf(got, 1) {
+		t.Fatalf("zero-mean spread rel-CI = %v, want +Inf", got)
+	}
+	if got := (Summary{N: 1, Mean: 0}).RelativeCI(); !math.IsInf(got, 1) {
+		t.Fatalf("single zero sample rel-CI = %v, want +Inf", got)
+	}
+}
+
+// sampleFromSlice replays a fixed sample sequence.
+func sampleFromSlice(xs []float64) func(i int) (float64, error) {
+	return func(i int) (float64, error) { return xs[i%len(xs)], nil }
+}
+
+// TestProgressSequenceSerial checks the callback contract: one update per
+// accepted sample, Done counting up, and the final update marked Converged.
+func TestProgressSequenceSerial(t *testing.T) {
+	var updates []ProgressUpdate
+	opts := ReplicateOptions{
+		MinRuns: 5, MaxRuns: 100, RelTol: 0.5,
+		Progress: func(u ProgressUpdate) { updates = append(updates, u) },
+	}
+	s, err := RunUntilCI(opts, sampleFromSlice([]float64{10, 10.1, 9.9, 10, 10.05}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updates) != s.N {
+		t.Fatalf("%d updates for %d samples", len(updates), s.N)
+	}
+	for i, u := range updates {
+		if u.Done != i+1 {
+			t.Fatalf("update %d has Done=%d", i, u.Done)
+		}
+		if u.EstTotal < u.Done || u.EstTotal > opts.MaxRuns {
+			t.Fatalf("update %d EstTotal=%d outside [Done=%d, MaxRuns=%d]",
+				i, u.EstTotal, u.Done, opts.MaxRuns)
+		}
+		if u.Converged != (i == len(updates)-1) {
+			t.Fatalf("update %d Converged=%v", i, u.Converged)
+		}
+		if u.Exhausted {
+			t.Fatalf("update %d marked Exhausted on a converged loop", i)
+		}
+	}
+	last := updates[len(updates)-1]
+	if last.Mean != s.Mean || last.RelCI != s.RelativeCI() {
+		t.Fatalf("final update %+v does not match summary %+v", last, s)
+	}
+}
+
+// TestProgressIdenticalSerialParallel: the engines fold samples in the same
+// order, so for the same workload they must emit the same update sequence.
+func TestProgressIdenticalSerialParallel(t *testing.T) {
+	xs := []float64{5, 7, 6, 5.5, 6.5, 6.1, 5.9, 6, 6.2, 5.8}
+	run := func(parallel int) ([]ProgressUpdate, Summary) {
+		var updates []ProgressUpdate
+		opts := ReplicateOptions{
+			MinRuns: 8, MaxRuns: 64, RelTol: 0.05,
+			Progress: func(u ProgressUpdate) { updates = append(updates, u) },
+		}
+		var s Summary
+		var err error
+		if parallel > 1 {
+			s, err = RunUntilCIParallel(opts, parallel, sampleFromSlice(xs))
+		} else {
+			s, err = RunUntilCI(opts, sampleFromSlice(xs))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return updates, s
+	}
+	serialU, serialS := run(1)
+	for _, workers := range []int{2, 4, 7} {
+		parU, parS := run(workers)
+		if !reflect.DeepEqual(serialS, parS) {
+			t.Fatalf("workers=%d: summary diverged", workers)
+		}
+		if !reflect.DeepEqual(serialU, parU) {
+			t.Fatalf("workers=%d: progress sequence diverged:\nserial   %+v\nparallel %+v",
+				workers, serialU, parU)
+		}
+	}
+}
+
+// TestProgressExhausted: a loop that hits MaxRuns emits one extra final
+// update marked Exhausted.
+func TestProgressExhausted(t *testing.T) {
+	var updates []ProgressUpdate
+	opts := ReplicateOptions{
+		MinRuns: 4, MaxRuns: 10, RelTol: 1e-12,
+		Progress: func(u ProgressUpdate) { updates = append(updates, u) },
+	}
+	s, err := RunUntilCI(opts, sampleFromSlice([]float64{1, 2, 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != opts.MaxRuns {
+		t.Fatalf("N=%d, want MaxRuns=%d", s.N, opts.MaxRuns)
+	}
+	if len(updates) != opts.MaxRuns+1 {
+		t.Fatalf("%d updates, want MaxRuns+1=%d", len(updates), opts.MaxRuns+1)
+	}
+	last := updates[len(updates)-1]
+	if !last.Exhausted || last.Converged || last.Done != opts.MaxRuns {
+		t.Fatalf("final update %+v, want Exhausted with Done=MaxRuns", last)
+	}
+	for _, u := range updates[:len(updates)-1] {
+		if u.Exhausted || u.Converged {
+			t.Fatalf("non-final update %+v marked terminal", u)
+		}
+	}
+}
+
+// TestEstimateTotalMatchesWaveMath: the wave sizing of the parallel engine
+// derives from the same estimate surfaced in progress updates.
+func TestEstimateTotalMatchesWaveMath(t *testing.T) {
+	var acc Accumulator
+	for _, x := range []float64{10, 11, 9, 10.5, 9.5, 10.2} {
+		acc.Add(x)
+	}
+	opts := ReplicateOptions{MinRuns: 4, MaxRuns: 1000, RelTol: 0.01}
+	total := estimateTotal(&acc, opts)
+	if total <= acc.N() {
+		t.Fatalf("estimate %d not beyond current N=%d for a loose sample", total, acc.N())
+	}
+	if got, want := estimateRemaining(&acc, opts), total-acc.N(); got != want {
+		t.Fatalf("estimateRemaining=%d, want estimateTotal-N=%d", got, want)
+	}
+}

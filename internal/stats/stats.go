@@ -21,9 +21,19 @@ type Summary struct {
 	HalfWidth90 float64
 }
 
-// RelativeCI returns HalfWidth90 / |Mean|, or +Inf when the mean is zero.
+// RelativeCI returns HalfWidth90 / |Mean|. A degenerate all-zero sample
+// (zero mean and zero standard deviation with at least two samples) has a
+// zero-width interval around an exactly known mean, so its relative CI is 0
+// — otherwise an identically-zero metric (a collided-copy count under the
+// collision-free MAC, the delivery ratio when every node is crashed) could
+// never satisfy any tolerance and a replication loop would always burn
+// MaxRuns. A zero mean with nonzero spread stays +Inf: no finite tolerance
+// describes it.
 func (s Summary) RelativeCI() float64 {
 	if s.Mean == 0 {
+		if s.StdDev == 0 && s.N > 1 {
+			return 0
+		}
 		return math.Inf(1)
 	}
 	return s.HalfWidth90 / math.Abs(s.Mean)
@@ -89,6 +99,30 @@ func T90(df int) float64 {
 // ErrNoSamples is returned when a replication produced no valid samples.
 var ErrNoSamples = errors.New("stats: no samples")
 
+// ProgressUpdate reports the state of a replication loop. The serial and
+// parallel engines fold samples in the same replication-index order, so for
+// a given workload both emit the identical update sequence.
+type ProgressUpdate struct {
+	// Done is the number of accepted replications so far.
+	Done int
+	// Mean is the running sample mean.
+	Mean float64
+	// RelCI is the current relative CI half-width (+Inf before the spread
+	// is estimable).
+	RelCI float64
+	// EstTotal estimates the total replications the tolerance will need,
+	// from the CI half-width formula at the current running moments; the
+	// remaining work (the ETA, in replicates) is EstTotal - Done. Clamped
+	// to [max(MinRuns, Done), MaxRuns].
+	EstTotal int
+	// Converged is set on the final update of a loop that met its
+	// tolerance.
+	Converged bool
+	// Exhausted is set on one extra final update when the loop hit MaxRuns
+	// without converging (its Done repeats the last sample's update).
+	Exhausted bool
+}
+
 // ReplicateOptions controls RunUntilCI.
 type ReplicateOptions struct {
 	// MinRuns is the minimum number of replications (default 30).
@@ -98,6 +132,11 @@ type ReplicateOptions struct {
 	// RelTol is the target relative CI half-width (default 0.01, the ±1%
 	// criterion of the paper).
 	RelTol float64
+	// Progress, when non-nil, is called after every accepted sample (and
+	// once more on MaxRuns exhaustion). Calls happen on the goroutine
+	// driving the replication loop; the callback must be fast and must not
+	// panic. It never affects the measured result.
+	Progress func(ProgressUpdate)
 }
 
 func (o ReplicateOptions) withDefaults() ReplicateOptions {
@@ -135,30 +174,75 @@ func RunUntilCI(opts ReplicateOptions, sample func(i int) (float64, error)) (Sum
 			return s, nil
 		}
 	}
-	return finish(&acc, lastErr)
+	return finish(&acc, opts, lastErr)
 }
 
 // fold adds one accepted sample and applies the stopping rule: once MinRuns
 // samples are in, stop at the first sample whose running CI meets the
 // tolerance. Shared by the serial and parallel engines so both stop at the
-// same replication index with the same accumulator state.
+// same replication index with the same accumulator state (and emit the same
+// progress updates).
 func fold(acc *Accumulator, x float64, opts ReplicateOptions) (Summary, bool) {
 	acc.Add(x)
-	if acc.N() >= opts.MinRuns {
-		if s := acc.Summary(); s.RelativeCI() <= opts.RelTol {
-			return s, true
-		}
+	s := acc.Summary()
+	done := acc.N() >= opts.MinRuns && s.RelativeCI() <= opts.RelTol
+	if opts.Progress != nil {
+		opts.Progress(ProgressUpdate{
+			Done:      acc.N(),
+			Mean:      s.Mean,
+			RelCI:     s.RelativeCI(),
+			EstTotal:  estimateTotal(acc, opts),
+			Converged: done,
+		})
+	}
+	if done {
+		return s, true
 	}
 	return Summary{}, false
 }
 
 // finish terminates a replication loop that exhausted MaxRuns.
-func finish(acc *Accumulator, lastErr error) (Summary, error) {
+func finish(acc *Accumulator, opts ReplicateOptions, lastErr error) (Summary, error) {
 	if acc.N() == 0 {
 		if lastErr != nil {
 			return Summary{}, lastErr
 		}
 		return Summary{}, ErrNoSamples
 	}
-	return acc.Summary(), nil
+	s := acc.Summary()
+	if opts.Progress != nil {
+		opts.Progress(ProgressUpdate{
+			Done:      s.N,
+			Mean:      s.Mean,
+			RelCI:     s.RelativeCI(),
+			EstTotal:  s.N,
+			Exhausted: true,
+		})
+	}
+	return s, nil
+}
+
+// estimateTotal estimates the total replication count the tolerance needs,
+// evaluated at the current running moments:
+//
+//	t * sd / sqrt(N) <= tol * |mean|  =>  N >= (t * sd / (tol * |mean|))^2
+//
+// The estimate is clamped to [max(MinRuns, N), MaxRuns]. It only informs
+// progress reporting and speculative wave sizing, never the result.
+func estimateTotal(acc *Accumulator, opts ReplicateOptions) int {
+	s := acc.Summary()
+	total := s.N
+	if total < opts.MinRuns {
+		total = opts.MinRuns
+	}
+	if s.N >= 2 && s.Mean != 0 && s.StdDev != 0 {
+		z := T90(s.N-1) * s.StdDev / (opts.RelTol * math.Abs(s.Mean))
+		if needed := math.Ceil(z * z); needed > float64(total) {
+			total = int(needed)
+		}
+	}
+	if total > opts.MaxRuns {
+		total = opts.MaxRuns
+	}
+	return total
 }
