@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race bench bench-full figures table1 sample fuzz clean
+.PHONY: all build test test-race check-docs bench bench-full figures table1 sample fuzz clean
 
 all: build test
 
@@ -17,13 +17,18 @@ test:
 	$(GO) test ./...
 	$(GO) test -race ./internal/stats/ ./internal/experiments/ ./internal/sim/ ./internal/fault/
 	$(GO) test -tags simdebug ./internal/sim/
+	$(GO) run ./cmd/checkdocs
+
+# Documentation gate: package + exported doc comments, markdown link targets.
+check-docs:
+	$(GO) run ./cmd/checkdocs
 
 test-race:
 	$(GO) test -race ./...
 
 # Headline benchmarks, committed as a machine-readable report. The previous
 # report (if any) is embedded under "previous" for before/after comparison.
-BENCHES = BenchmarkFigure10Timing|BenchmarkCoverageConditions|BenchmarkReplicationPoint
+BENCHES = BenchmarkFigure10Timing|BenchmarkCoverageConditions|BenchmarkReplicationPoint|BenchmarkTopologyBuild|BenchmarkScalePoint
 bench:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run='^$$' -bench='$(BENCHES)' -benchmem . \

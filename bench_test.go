@@ -342,6 +342,77 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkTopologyBuild contrasts the reference full-sort generator
+// (O(n^2 log n): every candidate link materialized and sorted) against the
+// grid-indexed one (cell size = candidate range, 8-neighbor scan,
+// guess-and-verify range selection) at large n. Both produce bit-identical
+// networks (pinned by the geo golden and equivalence tests); only the cost
+// may differ. The naive side stops at n=5000, where one build already takes
+// seconds and hundreds of MB of candidate pairs.
+func BenchmarkTopologyBuild(b *testing.B) {
+	cases := []struct {
+		n     int
+		naive bool
+	}{
+		{n: 500, naive: true}, {n: 500},
+		{n: 2000, naive: true}, {n: 2000},
+		{n: 5000, naive: true}, {n: 5000},
+		{n: 10000}, {n: 25000},
+	}
+	for _, c := range cases {
+		c := c
+		path := "grid"
+		if c.naive {
+			path = "naive"
+		}
+		b.Run(fmt.Sprintf("%s/n=%d", path, c.n), func(b *testing.B) {
+			b.ReportAllocs()
+			rng := rand.New(rand.NewSource(21))
+			links := 0
+			for i := 0; i < b.N; i++ {
+				net, err := geo.Generate(geo.Config{N: c.n, AvgDegree: 18, Naive: c.naive}, rng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				links = net.G.M()
+			}
+			b.ReportMetric(float64(links), "links/op")
+		})
+	}
+}
+
+// BenchmarkScalePoint measures one replicate of a large-n scale-sweep point:
+// topology generation plus one broadcast of each scale variant (flooding and
+// the generic Static/FR/FRB corners) on a 1000-node, d=18 network. This is
+// the unit of work `cmd/experiments -scale` repeats, so BENCH_results.json
+// tracks the scale trajectory alongside the paper-sized figures.
+func BenchmarkScalePoint(b *testing.B) {
+	cfg := experiments.ScaleConfig{
+		Sizes:       []int{1000},
+		Degree:      18,
+		Replicates:  1,
+		Seed:        5,
+		Parallelism: 1,
+	}
+	b.ReportAllocs()
+	forward := 0.0
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Scale(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Variant == "Generic-FR" {
+				forward = r.Forward
+			}
+			if r.Delivery != 100 {
+				b.Fatalf("%s delivered %v%%", r.Variant, r.Delivery)
+			}
+		}
+	}
+	b.ReportMetric(forward, "fwdpct/op")
+}
+
 // BenchmarkMaxMinPath measures the MAX_MIN maximal-replacement-path
 // construction.
 func BenchmarkMaxMinPath(b *testing.B) {

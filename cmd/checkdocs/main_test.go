@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree materializes a map of relative path -> contents under dir.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for rel, body := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCheckCleanTree(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"pkg/doc.go": "// Package pkg is documented.\npackage pkg\n\n" +
+			"// Exported is documented.\nfunc Exported() {}\n\n" +
+			"// T is documented.\ntype T struct{}\n\n" +
+			"// Hidden methods on unexported types need no comment.\ntype hidden struct{}\n\n" +
+			"func (hidden) Len() int { return 0 }\n",
+		"README.md": "See [pkg](pkg/doc.go) and [site](https://example.com) " +
+			"and [anchor](#here).\n```\n[not a link](missing.md)\n```\n",
+	})
+	problems, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("clean tree reported problems:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+func TestCheckFindsProblems(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"a/a.go": "package a\n\nfunc Exported() {}\n\ntype T int\n\nvar V int\n\n" +
+			"// S is documented.\ntype S struct{}\n\nfunc (S) M() {}\n",
+		"a/a_test.go": "package a\n\nfunc TestLooksExported() {}\n", // exempt
+		"README.md":   "Broken: [gone](docs/nope.md). Escape: [up](../outside.md).\n",
+	})
+	problems, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"package has no package doc comment",
+		"exported function Exported has no doc comment",
+		"exported type T has no doc comment",
+		"exported var V has no doc comment",
+		"exported method M has no doc comment",
+		`broken relative link "docs/nope.md"`,
+		`link "../outside.md" escapes the repository`,
+	} {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing problem %q in:\n%s", want, strings.Join(problems, "\n"))
+		}
+	}
+	if want := 7; len(problems) != want {
+		t.Errorf("got %d problems, want %d:\n%s", len(problems), want, strings.Join(problems, "\n"))
+	}
+}
+
+// TestRepositoryIsClean runs the gate over the real repository, so `go test`
+// fails locally for the same reasons the CI docs gate would.
+func TestRepositoryIsClean(t *testing.T) {
+	problems, err := check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("repository has documentation problems:\n%s", strings.Join(problems, "\n"))
+	}
+}

@@ -9,6 +9,8 @@
 //	experiments -fig 15 -paper     # full ±1% CI criterion (slow)
 //	experiments -ext mobility      # extension experiments and ablations
 //	experiments -ext crash -crashfracs 0,0.1,0.3   # degradation sweeps
+//	experiments -scale             # large-n sweep (1k..25k nodes, d=18)
+//	experiments -scale -scalesizes 1000,5000 -scalereps 3   # trimmed sweep
 //	experiments -all -parallel 4   # parallel replication, identical output
 //	experiments -fig 10 -cpuprofile cpu.out -memprofile mem.out
 //	experiments -fig 10 -tracedir traces -progress   # JSONL export + live progress
@@ -48,6 +50,10 @@ func run(args []string) error {
 		all    = fs.Bool("all", false, "reproduce every figure")
 		table1 = fs.Bool("table1", false, "print Table 1")
 		ext    = fs.String("ext", "", "extension experiment: mobility, reliability, piggyback, backoff, visitedunion, cluster, latency, crash, crashforward, loss")
+		scale  = fs.Bool("scale", false, "run the large-n scale sweep (delivery/forward/latency beyond the paper's n=100)")
+		ssizes = fs.String("scalesizes", "", "comma-separated network sizes for -scale (default 1000,5000,10000,25000)")
+		sdeg   = fs.Int("scaledegree", 0, "average degree for -scale (default 18; sparse degrees are not connectable at large n)")
+		sreps  = fs.Int("scalereps", 0, "replicates per -scale point (default 5)")
 		paper  = fs.Bool("paper", false, "use the paper's ±1% CI replication criterion")
 		seed   = fs.Int64("seed", 42, "base workload seed")
 		svgDir = fs.String("svgdir", "", "also write each figure as an SVG chart into this directory")
@@ -107,16 +113,10 @@ func run(args []string) error {
 			}
 		}()
 	}
-	if *sizes != "" {
-		for _, tok := range strings.Split(*sizes, ",") {
-			var n int
-			if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &n); err != nil {
-				return fmt.Errorf("bad -sizes entry %q: %w", tok, err)
-			}
-			rc.Sizes = append(rc.Sizes, n)
-		}
-	}
 	var err error
+	if rc.Sizes, err = parseInts(*sizes, "-sizes"); err != nil {
+		return err
+	}
 	if rc.CrashFractions, err = parseFloats(*crash, "-crashfracs"); err != nil {
 		return err
 	}
@@ -145,6 +145,21 @@ func run(args []string) error {
 		}
 		fmt.Fprintln(os.Stderr, "wrote", name)
 		return nil
+	}
+	if *scale {
+		sc := experiments.ScaleConfig{Seed: *seed, Degree: *sdeg, Replicates: *sreps}
+		if sc.Sizes, err = parseInts(*ssizes, "-scalesizes"); err != nil {
+			return err
+		}
+		// -parallel keeps its figure-sweep meaning (replicates measured
+		// concurrently); left at its default the scale sweep uses every
+		// core, which is safe because results are schedule-independent.
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "parallel" {
+				sc.Parallelism = *par
+			}
+		})
+		return runScale(sc)
 	}
 	if *ext != "" {
 		f, err := experiments.ExtensionByID(*ext, rc)
@@ -222,6 +237,42 @@ func progressFunc(print bool, debugAddr string) func(string, stats.ProgressUpdat
 				point, u.Done, u.EstTotal, 100*u.RelCI)
 		}
 	}
+}
+
+// runScale streams the large-n sweep: each point prints as soon as it
+// completes, so the small sizes confirm the setup while the big ones run.
+func runScale(sc experiments.ScaleConfig) error {
+	lastN := -1
+	sc.Emit = func(r experiments.ScaleRow) {
+		if r.N != lastN {
+			if lastN != -1 {
+				fmt.Println()
+			}
+			fmt.Printf("n=%d (%d replicates)\n", r.N, r.Replicates)
+			fmt.Printf("  %-16s %16s %16s %18s\n",
+				"variant", "delivery %", "forward %", "latency (slots)")
+			lastN = r.N
+		}
+		fmt.Println("  " + experiments.FormatScaleRow(r))
+	}
+	_, err := experiments.Scale(sc)
+	return err
+}
+
+// parseInts parses a comma-separated int list; "" yields nil (defaults).
+func parseInts(s, flagName string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, tok := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(tok), "%d", &n); err != nil {
+			return nil, fmt.Errorf("bad %s entry %q: %w", flagName, tok, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // parseFloats parses a comma-separated float list; "" yields nil (defaults).

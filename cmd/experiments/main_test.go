@@ -51,6 +51,13 @@ func TestRunTraceDirAndProgress(t *testing.T) {
 	}
 }
 
+// TestRunScaleTiny drives the -scale mode end to end on toy sizes.
+func TestRunScaleTiny(t *testing.T) {
+	if err := run([]string{"-scale", "-scalesizes", "40,60", "-scaledegree", "8", "-scalereps", "2"}); err != nil {
+		t.Fatalf("run -scale: %v", err)
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	tests := []struct {
 		name string
@@ -60,6 +67,8 @@ func TestRunErrors(t *testing.T) {
 		{name: "unknown figure", args: []string{"-fig", "99"}},
 		{name: "unknown extension", args: []string{"-ext", "bogus"}},
 		{name: "bad sizes", args: []string{"-fig", "10", "-sizes", "abc"}},
+		{name: "bad scale sizes", args: []string{"-scale", "-scalesizes", "abc"}},
+		{name: "infeasible scale degree", args: []string{"-scale", "-scalesizes", "200", "-scaledegree", "2", "-scalereps", "1"}},
 		{name: "bad flag", args: []string{"-nope"}},
 		{name: "unwritable tracedir", args: []string{"-fig", "16", "-sizes", "20", "-tracedir", "/dev/null/traces"}},
 	}

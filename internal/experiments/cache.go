@@ -91,7 +91,9 @@ func (c *workloadCache) get(key workloadKey) (workload, error) {
 
 	e.once.Do(func() {
 		rng := rand.New(rand.NewSource(key.seed))
-		net, err := geo.Generate(geo.Config{N: key.n, AvgDegree: float64(key.d)}, rng)
+		// Seed here is a diagnostic label: a generation failure names the
+		// exact workload stream that produced it.
+		net, err := geo.Generate(geo.Config{N: key.n, AvgDegree: float64(key.d), Seed: key.seed}, rng)
 		if err != nil {
 			e.err = err
 			return

@@ -1,0 +1,250 @@
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+
+	"adhocbcast/internal/geo"
+	"adhocbcast/internal/obsv"
+	"adhocbcast/internal/protocol"
+	"adhocbcast/internal/sim"
+	"adhocbcast/internal/stats"
+)
+
+// The scale sweep is the beyond-the-paper workload: the paper evaluates
+// n <= 100, while the grid-indexed topology engine makes tens of thousands
+// of nodes generatable in milliseconds, so the broadcast protocols themselves
+// become the measured quantity. Unlike the figure sweeps — which hold every
+// (variant, size) point concurrently and replicate until a CI criterion —
+// the scale sweep streams: one network is alive per worker at a time,
+// per-variant metrics fold into constant-size Welford accumulators, and each
+// completed point is emitted before the next begins, so a 25,000-node sweep
+// holds megabytes, not gigabytes.
+
+// ScaleConfig controls a large-n scale sweep.
+type ScaleConfig struct {
+	// Sizes lists the network sizes, swept in order (default 1000, 5000,
+	// 10000, 25000).
+	Sizes []int
+	// Degree is the target average degree (default 18). Random unit disk
+	// graphs need average degree on the order of log n to be connected, so
+	// the paper's sparse d=6 setting stops being generatable between n=1,000
+	// and n=10,000 — the generator's rejection sampling will exhaust its
+	// attempts and report the largest component it saw.
+	Degree int
+	// Replicates is the fixed per-point replication count (default 5; the
+	// per-run variance of ratio metrics shrinks with n, so scale points need
+	// far fewer replicates than the paper's n<=100 points).
+	Replicates int
+	// Seed is the base workload seed (default 42).
+	Seed int64
+	// Parallelism bounds the replicates evaluated concurrently within a
+	// point (default GOMAXPROCS). Results are deterministic for any value:
+	// every replicate derives from (Seed, n, d, rep) alone and metrics fold
+	// in replicate order.
+	Parallelism int
+	// Hops is the local-view depth (default 2).
+	Hops int
+	// Emit, when non-nil, receives each completed row as soon as its point
+	// finishes, in (size, variant) order — the streaming hook the CLI uses
+	// to print results while later, larger points are still running.
+	Emit func(ScaleRow)
+}
+
+func (c ScaleConfig) withDefaults() ScaleConfig {
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{1000, 5000, 10000, 25000}
+	}
+	if c.Degree == 0 {
+		c.Degree = 18
+	}
+	if c.Replicates <= 0 {
+		c.Replicates = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Hops <= 0 {
+		c.Hops = 2
+	}
+	return c
+}
+
+// ScaleRow is one (size, variant) result of a scale sweep. Delivery and
+// Forward are percentages of n; Latency is the mean first-delivery time in
+// transmission slots across delivered nodes. The CI fields are 90%
+// confidence half-widths over the replicates.
+type ScaleRow struct {
+	N          int
+	Variant    string
+	Replicates int
+	Delivery   float64
+	DeliveryCI float64
+	Forward    float64
+	ForwardCI  float64
+	Latency    float64
+	LatencyCI  float64
+}
+
+// scaleVariants are the design-space corners the sweep carries to scale:
+// blind flooding as the baseline, then the generic framework's static,
+// first-receipt, and first-receipt-with-backoff timing policies.
+func scaleVariants() []struct {
+	label string
+	make  func() sim.Protocol
+} {
+	return []struct {
+		label string
+		make  func() sim.Protocol
+	}{
+		{label: "Flooding", make: protocol.Flooding},
+		{label: "Generic-Static", make: func() sim.Protocol { return protocol.Generic(protocol.TimingStatic) }},
+		{label: "Generic-FR", make: func() sim.Protocol { return protocol.Generic(protocol.TimingFirstReceipt) }},
+		{label: "Generic-FRB", make: func() sim.Protocol { return protocol.Generic(protocol.TimingBackoffRandom) }},
+	}
+}
+
+// scaleSeed derives the deterministic workload seed of one (n, rep) cell.
+// Variants are excluded: every variant of a replicate sees the same network
+// and source (common random numbers), exactly like the figure sweeps.
+func scaleSeed(base int64, n, d, rep int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "scale|%d|%d|%d|%d", base, n, d, rep)
+	return int64(h.Sum64() & (1<<62 - 1))
+}
+
+// scaleSample is the per-(replicate, variant) measurement tuple.
+type scaleSample struct {
+	delivery float64
+	forward  float64
+	latency  float64
+}
+
+// Scale runs the large-n sweep and returns one row per (size, variant), in
+// sweep order. Points run strictly in size order; within a point, replicates
+// run on up to Parallelism workers, each holding one generated network at a
+// time.
+func Scale(cfg ScaleConfig) ([]ScaleRow, error) {
+	cfg = cfg.withDefaults()
+	variants := scaleVariants()
+	var rows []ScaleRow
+	for _, n := range cfg.Sizes {
+		samples := make([][]scaleSample, cfg.Replicates)
+		errs := make([]error, cfg.Replicates)
+		workers := cfg.Parallelism
+		if workers > cfg.Replicates {
+			workers = cfg.Replicates
+		}
+		reps := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				record := obsv.NewRunRecord()
+				for rep := range reps {
+					samples[rep], errs[rep] = scaleReplicate(cfg, n, rep, record)
+				}
+			}()
+		}
+		for rep := 0; rep < cfg.Replicates; rep++ {
+			reps <- rep
+		}
+		close(reps)
+		wg.Wait()
+
+		for rep, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("scale n=%d rep=%d: %w", n, rep, err)
+			}
+		}
+		// Fold in replicate order so the summary is bit-identical for any
+		// worker count.
+		for vi, v := range variants {
+			var del, fwd, lat stats.Accumulator
+			for rep := 0; rep < cfg.Replicates; rep++ {
+				s := samples[rep][vi]
+				del.Add(s.delivery)
+				fwd.Add(s.forward)
+				lat.Add(s.latency)
+			}
+			ds, fs, ls := del.Summary(), fwd.Summary(), lat.Summary()
+			row := ScaleRow{
+				N:          n,
+				Variant:    v.label,
+				Replicates: cfg.Replicates,
+				Delivery:   ds.Mean, DeliveryCI: ds.HalfWidth90,
+				Forward: fs.Mean, ForwardCI: fs.HalfWidth90,
+				Latency: ls.Mean, LatencyCI: ls.HalfWidth90,
+			}
+			rows = append(rows, row)
+			if cfg.Emit != nil {
+				cfg.Emit(row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// scaleReplicate generates one workload and runs every variant on it,
+// reusing one metrics record across the runs.
+func scaleReplicate(cfg ScaleConfig, n, rep int, record *obsv.RunRecord) ([]scaleSample, error) {
+	seed := scaleSeed(cfg.Seed, n, cfg.Degree, rep)
+	rng := rand.New(rand.NewSource(seed))
+	net, err := geo.Generate(geo.Config{N: n, AvgDegree: float64(cfg.Degree), Seed: seed}, rng)
+	if err != nil {
+		return nil, err
+	}
+	source := rng.Intn(n)
+	variants := scaleVariants()
+	out := make([]scaleSample, len(variants))
+	for vi, v := range variants {
+		res, err := sim.Run(net.G, source, v.make(), sim.Config{
+			Hops:    cfg.Hops,
+			Seed:    seed + 1,
+			Metrics: record,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.label, err)
+		}
+		out[vi] = scaleSample{
+			delivery: 100 * res.DeliveryRatio(),
+			forward:  100 * float64(res.ForwardCount()) / float64(res.N),
+			latency:  record.Latency.Mean(),
+		}
+	}
+	return out, nil
+}
+
+// FormatScale renders scale rows as one aligned text table per network size.
+func FormatScale(rows []ScaleRow) string {
+	var b strings.Builder
+	lastN := -1
+	for _, r := range rows {
+		if r.N != lastN {
+			if lastN != -1 {
+				b.WriteString("\n")
+			}
+			fmt.Fprintf(&b, "n=%d (%d replicates)\n", r.N, r.Replicates)
+			fmt.Fprintf(&b, "  %-16s %16s %16s %18s\n",
+				"variant", "delivery %", "forward %", "latency (slots)")
+			lastN = r.N
+		}
+		b.WriteString("  " + FormatScaleRow(r) + "\n")
+	}
+	return b.String()
+}
+
+// FormatScaleRow renders one row as an aligned line (no leading indent).
+func FormatScaleRow(r ScaleRow) string {
+	return fmt.Sprintf("%-16s %10.2f ±%.2f %10.2f ±%.2f %12.2f ±%.2f",
+		r.Variant, r.Delivery, r.DeliveryCI, r.Forward, r.ForwardCI,
+		r.Latency, r.LatencyCI)
+}

@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// testScaleConfig keeps scale tests fast: small sizes, sparse-but-connectable
+// degree, two replicates.
+func testScaleConfig() ScaleConfig {
+	return ScaleConfig{
+		Sizes:      []int{50, 80},
+		Degree:     8,
+		Replicates: 2,
+		Seed:       7,
+	}
+}
+
+func TestScaleShape(t *testing.T) {
+	rows, err := Scale(testScaleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := scaleVariants()
+	if want := 2 * len(variants); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	i := 0
+	for _, n := range []int{50, 80} {
+		for _, v := range variants {
+			r := rows[i]
+			i++
+			if r.N != n || r.Variant != v.label {
+				t.Fatalf("row %d is (%d, %s), want (%d, %s)", i-1, r.N, r.Variant, n, v.label)
+			}
+			if r.Replicates != 2 {
+				t.Fatalf("row %d replicates = %d", i-1, r.Replicates)
+			}
+			// Collision-free static MAC: every variant delivers everywhere.
+			if r.Delivery != 100 {
+				t.Fatalf("%s n=%d delivery %v%%, want 100", r.Variant, r.N, r.Delivery)
+			}
+			if r.Forward <= 0 || r.Forward > 100 {
+				t.Fatalf("%s n=%d forward %v%% out of range", r.Variant, r.N, r.Forward)
+			}
+			if r.Latency <= 0 {
+				t.Fatalf("%s n=%d latency %v, want positive", r.Variant, r.N, r.Latency)
+			}
+		}
+	}
+	// The pruning variants must actually prune: generic FR forwards a small
+	// fraction of what flooding does.
+	if rows[0].Variant != "Flooding" || rows[0].Forward != 100 {
+		t.Fatalf("flooding row = %+v, want 100%% forwards", rows[0])
+	}
+	for _, r := range rows {
+		if r.Variant == "Generic-FR" && r.Forward >= 80 {
+			t.Fatalf("Generic-FR forwards %v%%, expected substantial pruning", r.Forward)
+		}
+	}
+}
+
+// TestScaleDeterministicAcrossParallelism pins the schedule independence:
+// any worker count folds the same per-replicate samples in the same order.
+func TestScaleDeterministicAcrossParallelism(t *testing.T) {
+	serial := testScaleConfig()
+	serial.Parallelism = 1
+	a, err := Scale(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := testScaleConfig()
+	parallel.Parallelism = 4
+	b, err := Scale(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("parallel rows differ from serial:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestScaleEmitStreams asserts the Emit hook sees every row, in order, as
+// the sweep runs.
+func TestScaleEmitStreams(t *testing.T) {
+	cfg := testScaleConfig()
+	var emitted []ScaleRow
+	cfg.Emit = func(r ScaleRow) { emitted = append(emitted, r) }
+	rows, err := Scale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rows, emitted) {
+		t.Fatalf("emitted rows differ from returned rows")
+	}
+}
+
+// TestScaleInfeasibleDegree checks a degree too sparse to connect surfaces
+// the generator's diagnostic error instead of hanging.
+func TestScaleInfeasibleDegree(t *testing.T) {
+	cfg := testScaleConfig()
+	cfg.Sizes = []int{60}
+	cfg.Degree = 2
+	_, err := Scale(cfg)
+	if err == nil {
+		t.Skip("sparse network happened to connect; nothing to assert")
+	}
+	if !strings.Contains(err.Error(), "largest") {
+		t.Fatalf("error %q lacks component diagnostics", err)
+	}
+}
+
+func TestFormatScale(t *testing.T) {
+	rows, err := Scale(testScaleConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatScale(rows)
+	for _, want := range []string{"n=50", "n=80", "Flooding", "Generic-FRB", "delivery %"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatScale output missing %q:\n%s", want, out)
+		}
+	}
+}

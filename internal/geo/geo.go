@@ -3,13 +3,17 @@
 // 100x100 area, with the transmitter range adjusted so that the resulting
 // unit disk graph has exactly n*d/2 links for a requested average degree d.
 // Networks that are not connected are discarded and regenerated.
+//
+// Two interchangeable generators produce bit-identical networks: the
+// reference path sorts all n(n-1)/2 candidate links, while the default
+// grid-indexed path (see grid.go) only examines pairs within an estimated
+// range, which is what makes n in the tens of thousands feasible.
 package geo
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 
 	"adhocbcast/internal/graph"
 )
@@ -36,6 +40,16 @@ type Config struct {
 	// MaxAttempts bounds the connected-graph rejection sampling
 	// (default 1000).
 	MaxAttempts int
+	// Naive selects the reference O(n^2 log n) generator that sorts every
+	// candidate link instead of the grid-indexed one. Both produce
+	// bit-identical networks; the reference path exists for equivalence
+	// tests and benchmarks.
+	Naive bool
+	// Seed is a diagnostic label only: generation randomness comes from the
+	// rng passed to Generate, but callers that seed that rng should record
+	// the seed here so a failed generation names the placement stream that
+	// produced it.
+	Seed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -78,25 +92,51 @@ type Network struct {
 }
 
 // Generate draws random placements from rng until the induced unit disk
-// graph is connected, and returns the resulting network.
+// graph is connected, and returns the resulting network. A failure after
+// MaxAttempts reports the configured seed and the largest connected-component
+// size of the last attempt, so infeasible large-n configurations are
+// diagnosable without rerunning.
 func Generate(cfg Config, rng *rand.Rand) (*Network, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	var last *Network
 	for attempt := 1; attempt <= cfg.MaxAttempts; attempt++ {
 		net := place(cfg, rng)
 		if net.G.Connected() {
 			net.Attempts = attempt
 			return net, nil
 		}
+		last = net
 	}
-	return nil, fmt.Errorf("geo: no connected network with n=%d d=%g after %d attempts",
-		cfg.N, cfg.AvgDegree, cfg.MaxAttempts)
+	labels, count := last.G.Components()
+	sizes := make([]int, count)
+	for _, c := range labels {
+		sizes[c]++
+	}
+	largest := 0
+	for _, s := range sizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	return nil, fmt.Errorf("geo: no connected network with n=%d d=%g after %d attempts "+
+		"(seed %d; last attempt: %d components, largest %d/%d nodes, range %.3g)",
+		cfg.N, cfg.AvgDegree, cfg.MaxAttempts, cfg.Seed, count, largest, cfg.N, last.Range)
+}
+
+// pair is one candidate link: the endpoint pair (u < v) and its distance.
+type pair struct {
+	d    float64
+	u, v int
 }
 
 // place builds one candidate network: uniform placement plus exact-link-count
-// range adjustment.
+// range adjustment. The m = links(n, d) closest pairs become the links and
+// the m-th distance becomes the range; the naive path considers all pairs,
+// the grid path only a superset of the m closest (see grid.go). Both feed
+// the same comparator, so the resulting networks are bit-identical.
 func place(cfg Config, rng *rand.Rand) *Network {
 	n := cfg.N
 	pos := make([]Point, n)
@@ -104,32 +144,26 @@ func place(cfg Config, rng *rand.Rand) *Network {
 		pos[i] = Point{X: rng.Float64() * cfg.Side, Y: rng.Float64() * cfg.Side}
 	}
 
-	type pair struct {
-		d    float64
-		u, v int
-	}
-	pairs := make([]pair, 0, n*(n-1)/2)
-	for u := 0; u < n; u++ {
-		for v := u + 1; v < n; v++ {
-			pairs = append(pairs, pair{d: pos[u].Distance(pos[v]), u: u, v: v})
-		}
-	}
-	sort.Slice(pairs, func(i, j int) bool {
-		if pairs[i].d != pairs[j].d {
-			return pairs[i].d < pairs[j].d
-		}
-		if pairs[i].u != pairs[j].u {
-			return pairs[i].u < pairs[j].u
-		}
-		return pairs[i].v < pairs[j].v
-	})
-
 	m := links(n, cfg.AvgDegree)
-	g := graph.New(n)
-	for i := 0; i < m; i++ {
-		// Endpoints are valid by construction; AddEdge cannot fail.
-		_ = g.AddEdge(pairs[i].u, pairs[i].v)
+	var pairs []pair
+	if cfg.Naive {
+		pairs = make([]pair, 0, n*(n-1)/2)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				pairs = append(pairs, pair{d: pos[u].Distance(pos[v]), u: u, v: v})
+			}
+		}
+	} else {
+		pairs = candidatePairs(pos, cfg.Side, m)
 	}
+	sortPairs(pairs)
+
+	edges := make([][2]int, m)
+	for i := 0; i < m; i++ {
+		edges[i] = [2]int{pairs[i].u, pairs[i].v}
+	}
+	// Endpoints are valid and distinct by construction; FromEdges cannot fail.
+	g, _ := graph.FromEdges(n, edges)
 	r := 0.0
 	if m > 0 {
 		r = pairs[m-1].d

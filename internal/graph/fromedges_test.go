@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFromEdgesMatchesAddEdge(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(60)
+		seen := map[[2]int]bool{}
+		var edges [][2]int
+		for len(edges) < rng.Intn(3*n) {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				continue
+			}
+			seen[[2]int{u, v}] = true
+			edges = append(edges, [2]int{u, v})
+		}
+		// Shuffle so FromEdges sees edges in arbitrary order and orientation.
+		rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+		for i := range edges {
+			if rng.Intn(2) == 0 {
+				edges[i][0], edges[i][1] = edges[i][1], edges[i][0]
+			}
+		}
+
+		want := New(n)
+		for _, e := range edges {
+			if err := want.AddEdge(e[0], e[1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := FromEdges(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.N() != want.N() || got.M() != want.M() {
+			t.Fatalf("trial %d: size (%d,%d), want (%d,%d)",
+				trial, got.N(), got.M(), want.N(), want.M())
+		}
+		for v := 0; v < n; v++ {
+			gn, wn := got.Neighbors(v), want.Neighbors(v)
+			if len(gn) != len(wn) {
+				t.Fatalf("trial %d: degree of %d: %d, want %d", trial, v, len(gn), len(wn))
+			}
+			for i := range gn {
+				if gn[i] != wn[i] {
+					t.Fatalf("trial %d: neighbors of %d differ: %v vs %v", trial, v, gn, wn)
+				}
+			}
+		}
+	}
+}
+
+func TestFromEdgesErrors(t *testing.T) {
+	if _, err := FromEdges(3, [][2]int{{0, 3}}); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if _, err := FromEdges(3, [][2]int{{-1, 0}}); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if _, err := FromEdges(3, [][2]int{{1, 1}}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := FromEdges(3, [][2]int{{0, 1}, {1, 0}}); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+	g, err := FromEdges(0, nil)
+	if err != nil || g.N() != 0 || g.M() != 0 {
+		t.Errorf("empty graph: %v %v", g, err)
+	}
+}
+
+// TestFromEdgesMutableAfterBuild guards the shared-backing-array hazard: the
+// per-vertex adjacency slices are carved from one array, so growing one via
+// AddEdge must reallocate instead of overwriting its neighbor's segment.
+func TestFromEdgesMutableAfterBuild(t *testing.T) {
+	g, err := FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(2, 3) || !g.HasEdge(0, 1) || !g.HasEdge(0, 2) {
+		t.Fatal("AddEdge after FromEdges corrupted existing adjacency")
+	}
+	g.RemoveEdge(0, 1)
+	if g.HasEdge(0, 1) || !g.HasEdge(2, 3) || g.M() != 2 {
+		t.Fatal("RemoveEdge after FromEdges misbehaved")
+	}
+}

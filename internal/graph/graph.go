@@ -96,6 +96,57 @@ func (g *Graph) AddEdge(u, v int) error {
 	return nil
 }
 
+// FromEdges builds a graph on n vertices from a complete edge list in one
+// pass: degrees are counted, one backing array is carved into per-vertex
+// adjacency slices, and each slice is sorted. This is O(n + m log deg)
+// versus the O(m * deg) of repeated AddEdge calls, which is what the
+// large-scale topology generator needs when m reaches hundreds of thousands
+// of links. Self-loops, out-of-range endpoints, and duplicate edges are
+// rejected. The resulting graph is fully mutable afterwards.
+func FromEdges(n int, edges [][2]int) (*Graph, error) {
+	g := New(n)
+	deg := make([]int, n)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || u >= n || v >= n {
+			return nil, fmt.Errorf("graph: edge {%d,%d} out of range [0,%d)", u, v, n)
+		}
+		if u == v {
+			return nil, fmt.Errorf("graph: self-loop at %d", u)
+		}
+		deg[u]++
+		deg[v]++
+	}
+	off := make([]int, n+1)
+	for v := 0; v < n; v++ {
+		off[v+1] = off[v] + deg[v]
+	}
+	backing := make([]int, off[n])
+	fill := append([]int(nil), off[:n]...)
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		backing[fill[u]] = v
+		fill[u]++
+		backing[fill[v]] = u
+		fill[v]++
+	}
+	for v := 0; v < n; v++ {
+		// The three-index slice caps each adjacency list at its segment, so a
+		// later AddEdge reallocates instead of clobbering the next vertex's
+		// neighbors in the shared backing array.
+		a := backing[off[v]:off[v+1]:off[v+1]]
+		sort.Ints(a)
+		for i := 1; i < len(a); i++ {
+			if a[i] == a[i-1] {
+				return nil, fmt.Errorf("graph: duplicate edge {%d,%d}", v, a[i])
+			}
+		}
+		g.adj[v] = a
+	}
+	g.m = len(edges)
+	return g, nil
+}
+
 // RemoveEdge deletes the undirected edge {u, v} if present.
 func (g *Graph) RemoveEdge(u, v int) {
 	if !g.HasEdge(u, v) {
