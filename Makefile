@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race check-docs bench bench-full figures table1 sample fuzz clean
+.PHONY: all build test test-race check-docs bench bench-full figures table1 sample fuzz fuzz-smoke clean
 
 all: build test
 
@@ -58,6 +58,13 @@ fuzz:
 	$(GO) test ./internal/core/ -fuzz FuzzCoverageConditions -fuzztime 30s
 	$(GO) test ./internal/core/ -fuzz FuzzMaxMinPath -fuzztime 30s
 	$(GO) test ./internal/core/ -fuzz FuzzEvaluatorMatchesReference -fuzztime 30s
+
+# CI-sized fuzz smoke under the race detector: a few seconds per target keeps
+# the differential oracles (grid placement vs naive, evaluator vs reference)
+# exercised on every change without a full campaign.
+fuzz-smoke:
+	$(GO) test -race ./internal/geo/ -run '^$$' -fuzz FuzzPlaceGridMatchesNaive -fuzztime 5s
+	$(GO) test -race ./internal/core/ -run '^$$' -fuzz FuzzEvaluatorMatchesReference -fuzztime 5s
 
 clean:
 	$(GO) clean ./...

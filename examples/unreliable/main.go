@@ -80,7 +80,7 @@ func run() error {
 		delivery := 0.0
 		const runs = 25
 		for i := 0; i < runs; i++ {
-			moved := mobility.Perturbed(net, 100, 5, rand.New(rand.NewSource(int64(100+i))))
+			moved := mobility.Perturbed(net, 100, 5, int64(100+i))
 			res, err := sim.Run(moved.G, i%100, tc.mk(), sim.Config{
 				Hops:         2,
 				ViewTopology: net.G,

@@ -47,6 +47,10 @@ type RunConfig struct {
 	// LossRates lists the loss-rate sweep values of the degradation
 	// experiments (default 0, 0.05, 0.1, 0.2, 0.3).
 	LossRates []float64
+	// HelloLossRates lists the hello-loss sweep values of the imperfect-view
+	// experiments (default 0, 0.05, 0.1, 0.2, 0.3). These degrade view
+	// formation, not the broadcast channel; see internal/hello.
+	HelloLossRates []float64
 	// TraceDir, when non-empty, exports every replicate of every data point
 	// as JSONL (one file per point, see internal/obsv): a versioned run
 	// record with counters, latency histogram, and forward-set distribution,
@@ -91,6 +95,9 @@ func (c RunConfig) withDefaults() RunConfig {
 	}
 	if len(c.LossRates) == 0 {
 		c.LossRates = []float64{0, 0.05, 0.1, 0.2, 0.3}
+	}
+	if len(c.HelloLossRates) == 0 {
+		c.HelloLossRates = []float64{0, 0.05, 0.1, 0.2, 0.3}
 	}
 	return c
 }

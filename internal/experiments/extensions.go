@@ -2,12 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
+	"hash/fnv"
 
 	"adhocbcast/internal/cds"
 	"adhocbcast/internal/cluster"
 	"adhocbcast/internal/core"
-	"adhocbcast/internal/geo"
 	"adhocbcast/internal/graph"
 	"adhocbcast/internal/mobility"
 	"adhocbcast/internal/protocol"
@@ -47,19 +46,20 @@ func Mobility(rc RunConfig) (Figure, error) {
 			for _, step := range steps {
 				point := fmt.Sprintf("M1/%s/step=%d/d=%d", v.label, step, d)
 				sum, err := rc.replicate(point, func(i int) (float64, error) {
-					seed := workloadSeed(rc.Seed, 100, d, i) ^ int64(step<<32)
-					// No workload cache here: the perturbation consumes the
-					// same rng stream right after generation, so caching the
-					// stale network would change the actual topology.
-					rng := rand.New(rand.NewSource(seed))
-					stale, err := generateNet(rng, 100, d)
+					// Perturbation draws live on their own seed-derived
+					// stream (see mobility.Perturbed), so the stale network
+					// and source come from the shared workload cache: every
+					// movement step of every variant perturbs the same
+					// replication-i network.
+					seed := workloadSeed(rc.Seed, 100, d, i)
+					w, err := workloads.get(workloadKey{seed: seed, n: 100, d: d})
 					if err != nil {
 						return 0, err
 					}
-					actual := mobility.Perturbed(stale, 100, float64(step), rng)
-					res, err := sim.Run(actual.G, rng.Intn(100), v.make(), sim.Config{
+					actual := mobility.Perturbed(w.net, 100, float64(step), mobilitySeed(rc.Seed, d, i, step))
+					res, err := sim.Run(actual.G, w.source, v.make(), sim.Config{
 						Hops:         2,
-						ViewTopology: stale.G,
+						ViewTopology: w.net.G,
 						Seed:         seed + 1,
 					})
 					if err != nil {
@@ -383,6 +383,12 @@ func ExtensionByID(id string, rc RunConfig) (Figure, error) {
 		return CrashForwardRatio(rc)
 	case "loss":
 		return LossDegradation(rc)
+	case "helloloss":
+		return HelloLossDelivery(rc)
+	case "hellolossforward":
+		return HelloLossForwardRatio(rc)
+	case "hellolosslatency":
+		return HelloLossLatency(rc)
 	default:
 		return Figure{}, fmt.Errorf("experiments: unknown extension %q (valid: %v)", id, AllExtensionIDs())
 	}
@@ -390,11 +396,15 @@ func ExtensionByID(id string, rc RunConfig) (Figure, error) {
 
 // AllExtensionIDs lists the extension experiments.
 func AllExtensionIDs() []string {
-	return []string{"mobility", "reliability", "piggyback", "backoff", "visitedunion", "cluster", "latency", "crash", "crashforward", "loss"}
+	return []string{"mobility", "reliability", "piggyback", "backoff", "visitedunion", "cluster", "latency", "crash", "crashforward", "loss", "helloloss", "hellolossforward", "hellolosslatency"}
 }
 
-// generateNet mirrors the workload generation used by measure, for
-// extensions that need the geometry as well as the graph.
-func generateNet(rng *rand.Rand, n, d int) (*geo.Network, error) {
-	return geo.Generate(geo.Config{N: n, AvgDegree: float64(d)}, rng)
+// mobilitySeed derives the perturbation seed for one mobility replication.
+// The variant label is deliberately excluded (every series sees the same
+// movements) while the step is included, so different sweep points move the
+// shared workload network differently.
+func mobilitySeed(base int64, d, rep, step int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "mobility|%d|%d|%d|%d", base, d, rep, step)
+	return int64(h.Sum64() & (1<<62 - 1))
 }

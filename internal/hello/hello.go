@@ -65,6 +65,15 @@ func (p *Protocol) Rounds() int {
 // its current knowledge; every node merges the hellos of its neighbors.
 // Receiving a hello also reveals the link to its sender.
 func (p *Protocol) Round() {
+	p.roundWith(nil)
+}
+
+// roundWith is Round with an optional per-delivery drop hook: drop(v, u)
+// decides whether the hello from u is lost on its way to v. The hook is
+// consulted exactly once per (receiver, sender) pair, receivers in ascending
+// id order and senders in ascending neighbor order, so a seeded stochastic
+// hook yields a deterministic exchange. nil means lossless.
+func (p *Protocol) roundWith(drop func(recv, from int) bool) {
 	msgs := make([]message, len(p.nodes))
 	for v, st := range p.nodes {
 		links := make([][2]int, 0, len(st.links))
@@ -75,6 +84,9 @@ func (p *Protocol) Round() {
 	}
 	for v, st := range p.nodes {
 		p.g.ForEachNeighbor(v, func(u int) {
+			if drop != nil && drop(v, u) {
+				return
+			}
 			m := msgs[u]
 			st.links[canonical(v, m.from)] = true
 			for _, l := range m.links {

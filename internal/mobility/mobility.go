@@ -9,6 +9,8 @@
 package mobility
 
 import (
+	"encoding/binary"
+	"hash/fnv"
 	"math"
 	"math/rand"
 
@@ -21,7 +23,14 @@ import (
 // the deployment area), with links recomputed for the same radio range.
 // The returned network represents the actual connectivity after movement;
 // the original represents the stale topology the hello exchange captured.
-func Perturbed(net *geo.Network, side, maxStep float64, rng *rand.Rand) *geo.Network {
+//
+// The movement draws come from a private stream derived from seed (the same
+// per-purpose discipline as the simulator's rng split): perturbing a network
+// consumes nothing from any caller-owned stream, so adding or removing a
+// perturbation can never shift topology generation, source selection, or
+// protocol randomness seeded elsewhere.
+func Perturbed(net *geo.Network, side, maxStep float64, seed int64) *geo.Network {
+	rng := rand.New(rand.NewSource(subSeed(seed, "mobility/perturb")))
 	pos := make([]geo.Point, len(net.Pos))
 	for i, p := range net.Pos {
 		angle := rng.Float64() * 2 * math.Pi
@@ -100,6 +109,18 @@ func (w *Walker) Snapshot() *geo.Network {
 		Pos:   pos,
 		Range: w.r,
 	}
+}
+
+// subSeed maps (seed, purpose) to an independent stream seed, mirroring the
+// simulator's derivation so every stochastic subsystem splits streams the
+// same way.
+func subSeed(seed int64, purpose string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte(purpose))
+	return int64(h.Sum64() & (1<<62 - 1))
 }
 
 // linkByRange builds the unit disk graph of the positions under range r.

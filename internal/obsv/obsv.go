@@ -115,6 +115,18 @@ type RunRecord struct {
 	// still connected to the source under the fault plan.
 	Reachable          int `json:"reachable"`
 	DeliveredReachable int `json:"delivered_reachable"`
+	// ViewIncompleteNodes counts nodes that could prove their own local
+	// view incomplete before the broadcast started (missed hello receipts;
+	// see hello.Views.Incomplete). Zero unless the run was configured with
+	// per-node view incompleteness information.
+	ViewIncompleteNodes int `json:"view_incomplete_nodes,omitempty"`
+	// ViewMissingLinks and ViewPhantomLinks record the divergence of the
+	// run's per-node views against the true topology, summed over nodes
+	// (hello.Divergence aggregates). The simulator cannot compute these —
+	// they need the ground truth — so the experiment driving the run fills
+	// them in between sim.Run and trace export. Zero without per-node views.
+	ViewMissingLinks int `json:"view_missing_links,omitempty"`
+	ViewPhantomLinks int `json:"view_phantom_links,omitempty"`
 	// Finish is the time of the run's last event.
 	Finish float64 `json:"finish"`
 	// Latency is the first-delivery time histogram across reached nodes;

@@ -61,7 +61,7 @@ func (e *engine) Init(net *sim.Network) {
 	n := net.G.N()
 	e.status = make([]bool, n)
 	for v := 0; v < n; v++ {
-		e.status[v] = e.opts.Covered == nil || !e.opts.Covered(net, net.State(v))
+		e.status[v] = !e.covered(net, net.State(v))
 	}
 }
 
@@ -97,7 +97,7 @@ func (e *engine) OnReceive(net *sim.Network, v int, r Receipt) {
 		// Pure neighbor-designating without the strict rule: a designated
 		// node may still decline if its coverage condition holds.
 		if st.Designated() {
-			if e.opts.Covered != nil && e.opts.Covered(net, st) {
+			if e.covered(net, st) {
 				net.MarkNonForward(v)
 				return
 			}
@@ -115,7 +115,7 @@ func (e *engine) OnReceive(net *sim.Network, v int, r Receipt) {
 	// priority. Neighbors now rely on it at the raised 1.5 priority, so it
 	// must re-evaluate there and forward unless still covered.
 	if e.opts.Designate != nil && st.NonForward && st.Designated() {
-		if e.opts.Covered == nil || !e.opts.Covered(net, st) {
+		if !e.covered(net, st) {
 			e.forward(net, v)
 		}
 	}
@@ -130,11 +130,27 @@ func (e *engine) OnTimer(net *sim.Network, v int) {
 		e.forward(net, v)
 		return
 	}
-	if e.opts.Covered != nil && e.opts.Covered(net, st) {
+	if e.covered(net, st) {
 		net.MarkNonForward(v)
 		return
 	}
 	e.forward(net, v)
+}
+
+// covered evaluates the engine's coverage condition for the node owning st,
+// folding in the simulator's conservative fallback: a node that knows its
+// view may be incomplete never trusts a "covered" conclusion drawn from that
+// view, so it reports uncovered and keeps forward status (the paper's
+// default-forward safety property under imperfect knowledge). A nil Covered
+// option reports uncovered, preserving flooding behavior.
+func (e *engine) covered(net *sim.Network, st *sim.NodeState) bool {
+	if e.opts.Covered == nil {
+		return false
+	}
+	if net != nil && net.ConservativeHold(st.ID) {
+		return false
+	}
+	return e.opts.Covered(net, st)
 }
 
 func (e *engine) delay(net *sim.Network, v int) float64 {

@@ -21,6 +21,12 @@ import (
 	"adhocbcast/internal/view"
 )
 
+// ViewProvider supplies node v's private view topology: the graph node v
+// believes the network to be, on the global vertex numbering. Providers are
+// called once per node at run setup and must be pure (same v, same graph) for
+// runs to be reproducible; hello.Views.Graph satisfies the signature.
+type ViewProvider func(v int) *graph.Graph
+
 // Config holds the physical and view-formation parameters of a run.
 type Config struct {
 	// Observer, when non-nil, receives transmit/deliver/non-forward events
@@ -39,6 +45,25 @@ type Config struct {
 	// messages exchanged before the nodes moved. Nil means views match the
 	// actual topology (the paper's static evaluation assumption).
 	ViewTopology *graph.Graph
+	// NodeViews, when non-nil, gives every node its own private (divergent,
+	// possibly wrong) view topology, modeling views assembled from a *lossy*
+	// hello exchange: local views and priority metrics are built per node
+	// from its own graph. Mutually exclusive with ViewTopology, which models
+	// one shared stale snapshot. Nil means no per-node views.
+	NodeViews ViewProvider
+	// ViewIncomplete, when non-nil, reports whether node v knows its own
+	// view may be missing links (e.g. it counted fewer hello receipts than
+	// exchange rounds; see hello.Views.Incomplete). It is consulted by the
+	// conservative fallback and the metrics layer only — a nil func means no
+	// node can prove anything about its view.
+	ViewIncomplete func(v int) bool
+	// ConservativeFallback enables the robustness mechanism mirroring the
+	// paper's default-forward safety property: a node whose view is provably
+	// incomplete (ViewIncomplete) refuses non-forward status and forwards
+	// when its turn comes, trading redundancy for the delivery that wrong
+	// pruning decisions would lose. Requires ViewIncomplete. Default off,
+	// which keeps every paper figure byte-identical.
+	ConservativeFallback bool
 	// Hops is the k of the k-hop local views; 0 or negative selects the
 	// global view.
 	Hops int
@@ -133,6 +158,14 @@ func (c Config) validate(n int) error {
 	if c.ViewTopology != nil && c.ViewTopology.N() != n {
 		return fmt.Errorf("sim: view topology has %d nodes, network has %d",
 			c.ViewTopology.N(), n)
+	}
+	if c.ViewTopology != nil && c.NodeViews != nil {
+		return fmt.Errorf("sim: ViewTopology and NodeViews are mutually exclusive: " +
+			"one global stale snapshot or per-node views, not both")
+	}
+	if c.ConservativeFallback && c.ViewIncomplete == nil {
+		return fmt.Errorf("sim: ConservativeFallback requires ViewIncomplete " +
+			"(no node can prove its view incomplete, so the fallback would silently never fire)")
 	}
 	return nil
 }

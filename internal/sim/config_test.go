@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"adhocbcast/internal/graph"
+)
+
+// TestConfigValidate is the table-driven gate over every rejection path of
+// Config.validate: each bad configuration must fail with an error naming the
+// offending knob, and representative good configurations must pass.
+func TestConfigValidate(t *testing.T) {
+	g4 := graph.New(4)
+	g2 := graph.New(2)
+	provider := func(int) *graph.Graph { return g4 }
+	cases := []struct {
+		name string
+		cfg  Config
+		want string // substring of the error; "" means valid
+	}{
+		{name: "zero value", cfg: Config{}},
+		{name: "loss rate high", cfg: Config{LossRate: 1}, want: "LossRate"},
+		{name: "loss rate negative", cfg: Config{LossRate: -0.01}, want: "LossRate"},
+		{name: "loss rate NaN", cfg: Config{LossRate: math.NaN()}, want: "LossRate"},
+		{name: "negative jitter", cfg: Config{TxJitter: -1}, want: "TxJitter"},
+		{name: "negative retry budget", cfg: Config{RetryBudget: -1}, want: "RetryBudget"},
+		{name: "negative NACK delay", cfg: Config{NACKDelay: -0.5}, want: "NACKDelay"},
+		{name: "NaN NACK delay", cfg: Config{NACKDelay: math.NaN()}, want: "NACKDelay"},
+		{name: "negative retry backoff", cfg: Config{RetryBackoff: -1}, want: "RetryBackoff"},
+		{name: "view topology size mismatch", cfg: Config{ViewTopology: g2}, want: "view topology"},
+		{name: "view topology ok", cfg: Config{ViewTopology: g4}},
+		{name: "node views ok", cfg: Config{NodeViews: provider}},
+		{
+			name: "view topology and node views",
+			cfg:  Config{ViewTopology: g4, NodeViews: provider},
+			want: "mutually exclusive",
+		},
+		{
+			name: "fallback without incompleteness source",
+			cfg:  Config{NodeViews: provider, ConservativeFallback: true},
+			want: "ViewIncomplete",
+		},
+		{
+			name: "fallback with incompleteness source",
+			cfg: Config{
+				NodeViews:            provider,
+				ViewIncomplete:       func(int) bool { return false },
+				ConservativeFallback: true,
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.validate(g4.N())
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validate() accepted, want error mentioning %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("validate() = %v, want mention of %q", err, tc.want)
+			}
+		})
+	}
+}

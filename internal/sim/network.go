@@ -171,7 +171,8 @@ type Network struct {
 	nodes    []*NodeState
 	forward  []int
 	base     []view.Priority
-	viewG    *graph.Graph // topology the views were built from
+	viewG    *graph.Graph   // topology the views were built from (global-view modes)
+	nodeView []*graph.Graph // per-node view topologies (NodeViews mode, else nil)
 
 	receipts        int
 	copies          int
@@ -206,7 +207,9 @@ func Run(g *graph.Graph, source int, p Protocol, cfg Config) (Result, error) {
 	if m := net.Cfg.Metrics; m != nil {
 		m.Reset()
 	}
-	net.build()
+	if err := net.build(); err != nil {
+		return Result{}, err
+	}
 	p.Init(net)
 	net.deliverToSource()
 	p.Start(net, source)
@@ -214,8 +217,33 @@ func Run(g *graph.Graph, source int, p Protocol, cfg Config) (Result, error) {
 	return net.result(), nil
 }
 
-func (net *Network) build() {
+func (net *Network) build() error {
 	n := net.G.N()
+	net.nodes = make([]*NodeState, n)
+	if net.Cfg.NodeViews != nil {
+		// Per-node views: every node's local view AND its priority metrics
+		// come from its own (possibly wrong) graph. Nodes therefore disagree
+		// not only about links but also about degree-derived priorities —
+		// exactly the divergence a lossy hello exchange produces.
+		net.nodeView = make([]*graph.Graph, n)
+		for v := 0; v < n; v++ {
+			gv := net.Cfg.NodeViews(v)
+			if gv == nil {
+				return fmt.Errorf("sim: NodeViews returned nil for node %d", v)
+			}
+			if gv.N() != n {
+				return fmt.Errorf("sim: node %d view has %d nodes, network has %d", v, gv.N(), n)
+			}
+			net.nodeView[v] = gv
+			base := view.BasePriorities(gv, net.Cfg.Metric)
+			net.nodes[v] = &NodeState{
+				ID:        v,
+				View:      view.NewLocal(gv, v, net.Cfg.Hops, base),
+				FirstFrom: -1,
+			}
+		}
+		return nil
+	}
 	// Views (and the priority metrics inside them) come from the view
 	// topology, which may be a stale snapshot of the actual graph.
 	vg := net.G
@@ -224,7 +252,6 @@ func (net *Network) build() {
 	}
 	net.viewG = vg
 	net.base = view.BasePriorities(vg, net.Cfg.Metric)
-	net.nodes = make([]*NodeState, n)
 	for v := 0; v < n; v++ {
 		net.nodes[v] = &NodeState{
 			ID:        v,
@@ -232,6 +259,7 @@ func (net *Network) build() {
 			FirstFrom: -1,
 		}
 	}
+	return nil
 }
 
 // deliverToSource marks the source as having the packet so that protocols
@@ -536,6 +564,13 @@ func (net *Network) result() Result {
 		m.Reachable = res.Reachable
 		m.DeliveredReachable = res.DeliveredReachable
 		m.Finish = res.Finish
+		if net.Cfg.ViewIncomplete != nil {
+			for v := 0; v < res.N; v++ {
+				if net.Cfg.ViewIncomplete(v) {
+					m.ViewIncompleteNodes++
+				}
+			}
+		}
 	}
 	return res
 }
@@ -568,13 +603,31 @@ func (net *Network) RandomBackoff() float64 {
 // low-degree nodes actually hear their high-degree neighbors forward before
 // deciding.
 func (net *Network) DegreeBackoff(v int) float64 {
-	// Degrees come from the node's (possibly stale) knowledge, i.e. the
-	// view topology.
-	d := net.viewG.Degree(v)
+	// Degrees come from the node's (possibly stale or private) knowledge:
+	// its own view graph under NodeViews, else the shared view topology.
+	vg := net.viewGraphOf(v)
+	d := vg.Degree(v)
 	if d == 0 {
 		return net.Cfg.BackoffWindow
 	}
-	return net.Cfg.BackoffWindow * net.viewG.AverageDegree() / float64(d)
+	return net.Cfg.BackoffWindow * vg.AverageDegree() / float64(d)
+}
+
+// viewGraphOf returns the topology node v's knowledge is built from.
+func (net *Network) viewGraphOf(v int) *graph.Graph {
+	if net.nodeView != nil {
+		return net.nodeView[v]
+	}
+	return net.viewG
+}
+
+// ConservativeHold reports whether node v must refuse non-forward status: the
+// conservative fallback is enabled and v knows its own view may be missing
+// links, so any "I am covered" conclusion it draws is untrustworthy.
+// Protocols consult this wherever a coverage condition would justify
+// non-forward status (see the protocol engine).
+func (net *Network) ConservativeHold(v int) bool {
+	return net.Cfg.ConservativeFallback && net.Cfg.ViewIncomplete(v)
 }
 
 // SetTimer schedules an OnTimer callback for node v after delay (>= 0).
@@ -593,6 +646,9 @@ func (net *Network) SetTimer(v int, delay float64) {
 
 // MarkNonForward finalizes a non-forward decision for v.
 func (net *Network) MarkNonForward(v int) {
+	if debugChecks && net.ConservativeHold(v) {
+		panic(fmt.Sprintf("sim: conservative-fallback node %d took non-forward status", v))
+	}
 	if !net.nodes[v].NonForward && net.Cfg.Observer != nil {
 		net.Cfg.Observer.OnNonForward(v, net.now)
 	}
