@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race check-docs bench bench-full figures table1 sample fuzz fuzz-smoke clean
+.PHONY: all build test test-race check-docs bench bench-compare bench-full figures table1 sample fuzz fuzz-smoke clean
 
 all: build test
 
@@ -28,11 +28,18 @@ test-race:
 
 # Headline benchmarks, committed as a machine-readable report. The previous
 # report (if any) is embedded under "previous" for before/after comparison.
-BENCHES = BenchmarkFigure10Timing|BenchmarkCoverageConditions|BenchmarkReplicationPoint|BenchmarkTopologyBuild|BenchmarkScalePoint
+BENCHES = BenchmarkFigure10Timing|BenchmarkCoverageConditions|BenchmarkReplicationPoint|BenchmarkTopologyBuild|BenchmarkScalePoint|BenchmarkScaleEngine
 bench:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
-	$(GO) test -run='^$$' -bench='$(BENCHES)' -benchmem . \
+	$(GO) test -run='^$$' -bench='$(BENCHES)' -benchmem -timeout 30m . \
 		| /tmp/benchjson -old BENCH_results.json -out BENCH_results.json
+
+# CI regression gate: re-run the headline timing benchmarks and fail on a
+# >25% ns/op regression against the committed report.
+bench-compare:
+	$(GO) build -o /tmp/benchjson ./cmd/benchjson
+	$(GO) test -run='^$$' -bench='BenchmarkFigure10Timing' -benchmem . \
+		| /tmp/benchjson -compare BENCH_results.json
 
 # Every benchmark in the repository, human-readable.
 bench-full:

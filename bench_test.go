@@ -13,6 +13,7 @@ package adhocbcast_test
 import (
 	"fmt"
 	"math/rand"
+	"syscall"
 	"testing"
 
 	"adhocbcast/internal/cds"
@@ -411,6 +412,54 @@ func BenchmarkScalePoint(b *testing.B) {
 		}
 	}
 	b.ReportMetric(forward, "fwdpct/op")
+}
+
+// peakRSSMB reports the process's peak resident set in MB (getrusage Maxrss,
+// which Linux reports in KB). It only ever grows, so in a multi-benchmark run
+// the number belongs to the largest workload measured so far — which is why
+// only the scale benchmarks report it.
+func peakRSSMB() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Maxrss) / 1024
+}
+
+// BenchmarkScaleEngine measures one broadcast at the scale-sweep extremes —
+// n=100,000 and n=1,000,000 at d=18 — through the fast engine with a reused
+// arena, reporting the process's peak resident set alongside ns/op. One
+// iteration is a complete Generic-FR broadcast reaching every node; topology
+// generation is memoized outside the timer, and the arena's view cache makes
+// iterations after the first measure the steady-state engine cost, which is
+// exactly the regime the million-node sweep runs in. The n=1M case is skipped
+// in -short runs (CI benchmark smoke).
+func BenchmarkScaleEngine(b *testing.B) {
+	for _, n := range []int{100000, 1000000} {
+		n := n
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			if n > 100000 && testing.Short() {
+				b.Skip("skipping n=1M in -short mode")
+			}
+			net := benchNetwork(b, n, 18, 13)
+			arena := sim.NewArena()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := sim.RunWith(arena, net.G, i%n,
+					protocol.Generic(protocol.TimingFirstReceipt),
+					sim.Config{Hops: 2, Seed: int64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.FullDelivery() {
+					b.Fatalf("delivery %d/%d", res.Delivered, res.N)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(peakRSSMB(), "peakRSS-MB")
+		})
+	}
 }
 
 // BenchmarkMaxMinPath measures the MAX_MIN maximal-replacement-path

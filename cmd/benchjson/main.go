@@ -6,9 +6,16 @@
 //
 //	go test -bench=. -benchmem . | benchjson -out BENCH_results.json
 //	go test -bench=. -benchmem . | benchjson -old BENCH_results.json -out BENCH_results.json
+//	go test -bench=Figure10 . | benchjson -compare BENCH_results.json
 //
 // With -old, the previous report's results are embedded under "previous" so a
 // committed file carries its own before/after comparison.
+//
+// With -compare, no report is written: instead the fresh results on stdin are
+// checked against the named committed report, and the run fails (exit 1) when
+// any benchmark matching -match regressed in ns/op by more than -tolerance.
+// Benchmarks absent from the baseline pass trivially, so adding a benchmark
+// never breaks the gate.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -52,6 +60,9 @@ func main() {
 func run() error {
 	old := flag.String("old", "", "previous report whose results to embed under \"previous\"")
 	out := flag.String("out", "", "output file (default stdout)")
+	compare := flag.String("compare", "", "baseline report to gate against instead of emitting JSON")
+	match := flag.String("match", "Figure10Timing", "regexp of benchmark names the -compare gate checks")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression for -compare")
 	flag.Parse()
 
 	report := Report{Schema: ReportSchema}
@@ -86,6 +97,10 @@ func run() error {
 		return fmt.Errorf("no benchmark lines on stdin")
 	}
 
+	if *compare != "" {
+		return runCompare(report.Results, *compare, *match, *tolerance)
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -96,6 +111,67 @@ func run() error {
 		return err
 	}
 	return os.WriteFile(*out, data, 0o644)
+}
+
+// runCompare gates fresh results against a committed baseline report: every
+// fresh benchmark whose name matches the pattern and appears in the baseline
+// must not exceed the baseline's ns/op by more than the tolerance fraction.
+// Benchmark names carry a -GOMAXPROCS suffix that varies across machines, so
+// names are compared with the suffix stripped.
+func runCompare(fresh []Result, baselinePath, pattern string, tolerance float64) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -match pattern: %w", err)
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var baseline Report
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return fmt.Errorf("parse %s: %w", baselinePath, err)
+	}
+	base := make(map[string]float64, len(baseline.Results))
+	for _, r := range baseline.Results {
+		base[trimProcs(r.Name)] = r.NsPerOp
+	}
+	checked := 0
+	var regressions []string
+	for _, r := range fresh {
+		name := trimProcs(r.Name)
+		if !re.MatchString(name) {
+			continue
+		}
+		want, ok := base[name]
+		if !ok || want <= 0 {
+			continue
+		}
+		checked++
+		if r.NsPerOp > want*(1+tolerance) {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f ns/op vs baseline %.0f ns/op (%+.1f%%, tolerance %.0f%%)",
+				name, r.NsPerOp, want, 100*(r.NsPerOp/want-1), 100*tolerance))
+		}
+	}
+	if checked == 0 {
+		return fmt.Errorf("no stdin benchmark matching %q has a baseline in %s", pattern, baselinePath)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("ns/op regressions vs %s:\n  %s",
+			baselinePath, strings.Join(regressions, "\n  "))
+	}
+	fmt.Printf("benchjson: %d benchmark(s) within %.0f%% of %s\n", checked, 100*tolerance, baselinePath)
+	return nil
+}
+
+// trimProcs strips the trailing -N GOMAXPROCS suffix from a benchmark name.
+func trimProcs(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
 }
 
 // parseLine parses one `go test -bench` result line, e.g.

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -29,6 +31,54 @@ func TestParseLine(t *testing.T) {
 	}
 	if r.Metrics["forward/op"] != 24.5 {
 		t.Fatalf("custom metric lost: %+v", r.Metrics)
+	}
+}
+
+func TestTrimProcs(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFigure10Timing/Static-8":      "BenchmarkFigure10Timing/Static",
+		"BenchmarkFigure10Timing/Static":        "BenchmarkFigure10Timing/Static",
+		"BenchmarkReplicationPoint/workers=1-8": "BenchmarkReplicationPoint/workers=1",
+		"BenchmarkReplicationPoint/workers=1":   "BenchmarkReplicationPoint/workers=1",
+	}
+	for in, want := range cases {
+		if got := trimProcs(in); got != want {
+			t.Errorf("trimProcs(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestRunCompare(t *testing.T) {
+	baseline := Report{Schema: ReportSchema, Results: []Result{
+		{Name: "BenchmarkFigure10Timing/Static", NsPerOp: 1000},
+		{Name: "BenchmarkFigure10Timing/FR", NsPerOp: 2000},
+	}}
+	data, err := json.MarshalIndent(baseline, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	within := []Result{
+		{Name: "BenchmarkFigure10Timing/Static-8", NsPerOp: 1200},
+		{Name: "BenchmarkFigure10Timing/FR-8", NsPerOp: 1900},
+		{Name: "BenchmarkNewWithoutBaseline-8", NsPerOp: 9e9},
+	}
+	if err := runCompare(within, path, "Figure10Timing", 0.25); err != nil {
+		t.Fatalf("within-tolerance run failed the gate: %v", err)
+	}
+
+	regressed := []Result{{Name: "BenchmarkFigure10Timing/Static-8", NsPerOp: 1300}}
+	err = runCompare(regressed, path, "Figure10Timing", 0.25)
+	if err == nil || !strings.Contains(err.Error(), "regressions") {
+		t.Fatalf("30%% regression passed the gate: %v", err)
+	}
+
+	if err := runCompare(within, path, "NoSuchBenchmark", 0.25); err == nil {
+		t.Fatal("empty comparison set passed the gate (pattern typo would go unnoticed)")
 	}
 }
 

@@ -9,7 +9,7 @@
 //	experiments -fig 15 -paper     # full ±1% CI criterion (slow)
 //	experiments -ext mobility      # extension experiments and ablations
 //	experiments -ext crash -crashfracs 0,0.1,0.3   # degradation sweeps
-//	experiments -scale             # large-n sweep (1k..25k nodes, d=18)
+//	experiments -scale             # large-n sweep (1k..1M nodes, d=18)
 //	experiments -scale -scalesizes 1000,5000 -scalereps 3   # trimmed sweep
 //	experiments -all -parallel 4   # parallel replication, identical output
 //	experiments -fig 10 -cpuprofile cpu.out -memprofile mem.out
@@ -51,7 +51,7 @@ func run(args []string) error {
 		table1 = fs.Bool("table1", false, "print Table 1")
 		ext    = fs.String("ext", "", "extension experiment: mobility, reliability, piggyback, backoff, visitedunion, cluster, latency, crash, crashforward, loss, helloloss, hellolossforward, hellolosslatency")
 		scale  = fs.Bool("scale", false, "run the large-n scale sweep (delivery/forward/latency beyond the paper's n=100)")
-		ssizes = fs.String("scalesizes", "", "comma-separated network sizes for -scale (default 1000,5000,10000,25000)")
+		ssizes = fs.String("scalesizes", "", "comma-separated network sizes for -scale (default 1000,5000,10000,25000,100000,1000000)")
 		sdeg   = fs.Int("scaledegree", 0, "average degree for -scale (default 18; sparse degrees are not connectable at large n)")
 		sreps  = fs.Int("scalereps", 0, "replicates per -scale point (default 5)")
 		paper  = fs.Bool("paper", false, "use the paper's ±1% CI replication criterion")

@@ -28,7 +28,7 @@ import (
 // a lower-priority neighbor may be a path endpoint but never an
 // intermediate.
 func Covered(lv *view.Local) bool {
-	return withEvaluator(lv.G.N(), func(ev *Evaluator) bool { return ev.Covered(lv) })
+	return withEvaluator(lv.N(), func(ev *Evaluator) bool { return ev.Covered(lv) })
 }
 
 // CoveredWithoutVisitedUnion is the generic coverage condition evaluated
@@ -38,7 +38,7 @@ func Covered(lv *view.Local) bool {
 // condition's pruning power comes from the visited-union assumption
 // (Figure 6(b) in the paper) — and remains sound, merely more conservative.
 func CoveredWithoutVisitedUnion(lv *view.Local) bool {
-	return withEvaluator(lv.G.N(), func(ev *Evaluator) bool {
+	return withEvaluator(lv.N(), func(ev *Evaluator) bool {
 		return ev.CoveredWithoutVisitedUnion(lv)
 	})
 }
@@ -49,7 +49,7 @@ func CoveredWithoutVisitedUnion(lv *view.Local) bool {
 // component or adjacent to it). It implies the generic condition and is the
 // cheaper O(D^2) check used by Rule-k and LENWB style protocols.
 func StrongCovered(lv *view.Local) bool {
-	return withEvaluator(lv.G.N(), func(ev *Evaluator) bool { return ev.StrongCovered(lv) })
+	return withEvaluator(lv.N(), func(ev *Evaluator) bool { return ev.StrongCovered(lv) })
 }
 
 // StrongCoveredRestricted is the strong coverage condition with the
@@ -60,7 +60,7 @@ func StrongCovered(lv *view.Local) bool {
 // coverage nodes must be self-connected, i.e. connected using only nodes of
 // the restricted set.
 func StrongCoveredRestricted(lv *view.Local, maxDist int) bool {
-	return withEvaluator(lv.G.N(), func(ev *Evaluator) bool {
+	return withEvaluator(lv.N(), func(ev *Evaluator) bool {
 		return ev.StrongCoveredRestricted(lv, maxDist)
 	})
 }

@@ -92,12 +92,13 @@ func TestCoveredVisitedNodesAssumedConnected(t *testing.T) {
 	// link. Without the visited-connected assumption 0 is not covered;
 	// with it, it is.
 	g := buildGraph(t, 7, [][2]int{{0, 1}, {0, 2}, {1, 5}, {2, 6}, {5, 3}, {6, 4}})
-	lv := localView(t, g, 0, 2, view.MetricID)
 	// Use low-priority ids for the connectors so that only visited status
 	// can make them usable: here 5 and 6 already have higher ids, so first
 	// check the baseline with a different owner... instead give the owner
-	// the highest priority by marking statuses directly.
-	lv.Pr[0] = view.Priority{Status: view.Unvisited, Key1: 99, ID: 0}
+	// the highest priority by raising its base key before building the view.
+	base := view.BasePriorities(g, view.MetricID)
+	base[0] = view.Priority{Status: view.Unvisited, Key1: 99, ID: 0}
+	lv := view.NewLocal(g, 0, 2, base)
 	if core.Covered(lv) {
 		t.Fatal("node 0 covered before any visited marks")
 	}

@@ -8,24 +8,33 @@ import (
 )
 
 // Evaluator evaluates the coverage conditions with reusable scratch state.
-// The stateless entry points (Covered, StrongCovered, ...) allocate a fresh
-// H-membership slice, union-find, component-root map and per-neighbor root
-// slices on every call; inside a simulation those conditions run once per
-// node decision per receipt, so the churn dominates the allocation profile.
-// A simulation holds one Evaluator (see sim.Network.Evaluator) and reuses
-// its buffers across all node decisions of the run.
+// The stateless entry points (Covered, StrongCovered, ...) borrow a pooled
+// evaluator per call; inside a simulation those conditions run once per node
+// decision per receipt, so a simulation holds one Evaluator (see
+// sim.Network.Evaluator) and reuses its buffers across all node decisions of
+// the run.
+//
+// Evaluations are member-driven: all work is proportional to the size of the
+// view's member set Nk(owner), not to the total node count n. The only
+// n-sized structures are flat index arrays (member index, H membership, BFS
+// distances, union-find) whose touched entries are restored after every
+// evaluation, so an evaluator shared by a million-node run costs O(n) memory
+// once and O(|Nk|·deg) time per decision.
 //
 // An Evaluator is NOT safe for concurrent use; concurrent simulations must
-// each hold their own. Every evaluation leaves the scratch fully neutral, so
-// results never depend on what the evaluator computed before — the
-// equivalence with the stateless functions is asserted by tests.
+// each hold their own. Every evaluation restores its scratch before
+// returning, so results never depend on what the evaluator computed before —
+// the equivalence with the stateless functions is asserted by tests.
 type Evaluator struct {
-	n     int
-	inH   []bool
-	uf    *graph.UnionFind
-	comps [][]int // per-neighbor H-component root sets
-	dist  []int   // BFS scratch for the restricted condition
-	queue []int
+	n        int
+	memIdx   []int32 // global id -> member index + 1; 0 = not a member
+	inH      []bool  // H membership, global-indexed
+	hMembers []int   // members of H in ascending global-id order
+	uf       *graph.UnionFind
+	comps    [][]int // per-neighbor H-component root sets
+	dist     []int32 // BFS scratch for the restricted condition, -1 idle
+	queue    []int
+	nbrs     []int // owner neighbor scratch
 
 	// Dense replacement for the root -> covered-neighbor map of the
 	// dominating-component check: nbrIdx inverts the neighbor list, rowOf
@@ -52,10 +61,14 @@ func (ev *Evaluator) ensure(n int) {
 		return
 	}
 	ev.n = n
+	ev.memIdx = make([]int32, n)
 	ev.inH = make([]bool, n)
 	ev.uf = graph.NewUnionFind(n)
-	ev.dist = make([]int, n)
-	ev.queue = make([]int, 0, n)
+	ev.dist = make([]int32, n)
+	for i := range ev.dist {
+		ev.dist[i] = -1
+	}
+	ev.queue = make([]int, 0, 64)
 	ev.nbrIdx = make([]int, n)
 	ev.rowOf = make([]int, n)
 	for i := 0; i < n; i++ {
@@ -67,25 +80,70 @@ func (ev *Evaluator) ensure(n int) {
 	ev.touched = ev.touched[:0]
 }
 
+// begin indexes the view's members into the dense memIdx array so that
+// membership tests and fringe lookups during the evaluation are O(1).
+func (ev *Evaluator) begin(lv *view.Local) {
+	ev.ensure(lv.N())
+	for i, x := range lv.Members() {
+		ev.memIdx[x] = int32(i + 1)
+	}
+	ev.hMembers = ev.hMembers[:0]
+}
+
+// end restores the scratch touched by begin and the H computation.
+func (ev *Evaluator) end(lv *view.Local) {
+	for _, x := range lv.Members() {
+		ev.memIdx[x] = 0
+	}
+	for _, x := range ev.hMembers {
+		ev.inH[x] = false
+	}
+	ev.hMembers = ev.hMembers[:0]
+}
+
+// fringeOf reports whether member x (which MUST be a member) is on the
+// view's fringe.
+func (ev *Evaluator) fringeOf(lv *view.Local, x int) bool {
+	return lv.FringeAt(int(ev.memIdx[x]) - 1)
+}
+
+// ownerNeighbors fills ev.nbrs with the owner's view neighbors. The owner is
+// at distance 0 and never on the fringe, so these are exactly its topology
+// neighbors that are members.
+func (ev *Evaluator) ownerNeighbors(lv *view.Local) []int {
+	ev.nbrs = ev.nbrs[:0]
+	lv.Topo().ForEachNeighbor(lv.Owner, func(y int) {
+		if ev.memIdx[y] != 0 {
+			ev.nbrs = append(ev.nbrs, y)
+		}
+	})
+	return ev.nbrs
+}
+
 // Covered is the generic coverage condition of Section 3 (see the package
 // function Covered) evaluated with this evaluator's scratch.
 func (ev *Evaluator) Covered(lv *view.Local) bool {
-	return ev.covered(lv, true)
+	return ev.coveredOuter(lv, true)
 }
 
 // CoveredWithoutVisitedUnion is the ablation variant without the
 // visited-nodes-are-connected assumption.
 func (ev *Evaluator) CoveredWithoutVisitedUnion(lv *view.Local) bool {
-	return ev.covered(lv, false)
+	return ev.coveredOuter(lv, false)
+}
+
+func (ev *Evaluator) coveredOuter(lv *view.Local, mergeVisited bool) bool {
+	ev.begin(lv)
+	ok := ev.covered(lv, mergeVisited)
+	ev.end(lv)
+	return ok
 }
 
 func (ev *Evaluator) covered(lv *view.Local, mergeVisited bool) bool {
-	v := lv.Owner
-	nbrs := lv.G.Neighbors(v)
+	nbrs := ev.ownerNeighbors(lv)
 	if len(nbrs) <= 1 {
 		return true
 	}
-	ev.ensure(lv.G.N())
 	ev.higherComponents(lv, mergeVisited)
 
 	for len(ev.comps) < len(nbrs) {
@@ -96,7 +154,7 @@ func (ev *Evaluator) covered(lv *view.Local, mergeVisited bool) bool {
 	}
 	for i := 0; i < len(nbrs); i++ {
 		for j := i + 1; j < len(nbrs); j++ {
-			if lv.G.HasEdge(nbrs[i], nbrs[j]) {
+			if lv.HasEdge(nbrs[i], nbrs[j]) {
 				continue
 			}
 			if !intersectSorted(ev.comps[i], ev.comps[j]) {
@@ -110,66 +168,82 @@ func (ev *Evaluator) covered(lv *view.Local, mergeVisited bool) bool {
 // StrongCovered is the strong coverage condition of Section 6 evaluated with
 // this evaluator's scratch.
 func (ev *Evaluator) StrongCovered(lv *view.Local) bool {
-	nbrs := lv.G.Neighbors(lv.Owner)
-	if len(nbrs) == 0 {
-		return true
+	ev.begin(lv)
+	nbrs := ev.ownerNeighbors(lv)
+	ok := true
+	if len(nbrs) > 0 {
+		ev.higherComponents(lv, true)
+		ok = ev.dominating(lv, nbrs)
 	}
-	ev.ensure(lv.G.N())
-	ev.higherComponents(lv, true)
-	return ev.dominating(lv, nbrs)
+	ev.end(lv)
+	return ok
 }
 
 // StrongCoveredRestricted is the strong coverage condition with coverage
 // nodes restricted to maxDist hops of the owner, evaluated with this
 // evaluator's scratch.
 func (ev *Evaluator) StrongCoveredRestricted(lv *view.Local, maxDist int) bool {
+	ev.begin(lv)
 	v := lv.Owner
-	nbrs := lv.G.Neighbors(v)
-	if len(nbrs) == 0 {
-		return true
+	nbrs := ev.ownerNeighbors(lv)
+	ok := true
+	if len(nbrs) > 0 {
+		prv := lv.Pr(v)
+		// View-BFS bounded to maxDist: nodes farther than maxDist cannot
+		// enter H, so distances beyond the bound are never needed.
+		ev.viewDistances(lv, v, maxDist)
+		for i, x32 := range lv.Members() {
+			x := int(x32)
+			if x != v && ev.dist[x] >= 1 && lv.PrAt(i).Greater(prv) {
+				ev.inH[x] = true
+				ev.hMembers = append(ev.hMembers, x)
+			}
+		}
+		for _, x := range ev.queue {
+			ev.dist[x] = -1
+		}
+		ev.contract(lv, true)
+		ok = ev.dominating(lv, nbrs)
 	}
-	ev.ensure(lv.G.N())
-	prv := lv.Pr[v]
-	n := lv.G.N()
-	ev.bfsDistances(lv.G, v, n)
-	for x := 0; x < n; x++ {
-		ev.inH[x] = x != v && lv.Visible[x] &&
-			ev.dist[x] >= 1 && ev.dist[x] <= maxDist && lv.Pr[x].Greater(prv)
-	}
-	ev.contract(lv, n, true)
-	return ev.dominating(lv, nbrs)
+	ev.end(lv)
+	return ok
 }
 
-// higherComponents fills ev.inH with the membership of the higher-priority
-// subgraph H and contracts H's connected components into ev.uf.
+// higherComponents fills ev.inH/ev.hMembers with the membership of the
+// higher-priority subgraph H and contracts H's connected components into
+// ev.uf.
 func (ev *Evaluator) higherComponents(lv *view.Local, mergeVisited bool) {
 	v := lv.Owner
-	prv := lv.Pr[v]
-	n := lv.G.N()
-	for x := 0; x < n; x++ {
-		ev.inH[x] = x != v && lv.Visible[x] && lv.Pr[x].Greater(prv)
+	prv := lv.Pr(v)
+	for i, x32 := range lv.Members() {
+		x := int(x32)
+		if x != v && lv.PrAt(i).Greater(prv) {
+			ev.inH[x] = true
+			ev.hMembers = append(ev.hMembers, x)
+		}
 	}
-	ev.contract(lv, n, mergeVisited)
+	ev.contract(lv, mergeVisited)
 }
 
 // contract unions H members along view edges (and all visited members into
-// one component when mergeVisited is set), resetting ev.uf first.
-func (ev *Evaluator) contract(lv *view.Local, n int, mergeVisited bool) {
-	ev.uf.Reset()
+// one component when mergeVisited is set), resetting their union-find
+// entries first.
+func (ev *Evaluator) contract(lv *view.Local, mergeVisited bool) {
+	ev.uf.ResetSubset(ev.hMembers)
+	topo := lv.Topo()
 	firstVisited := -1
-	for x := 0; x < n; x++ {
-		if !ev.inH[x] {
-			continue
-		}
-		if mergeVisited && lv.Pr[x].Status == view.Visited {
+	for _, x := range ev.hMembers {
+		xi := int(ev.memIdx[x]) - 1
+		if mergeVisited && lv.StatusAt(xi) == view.Visited {
 			if firstVisited < 0 {
 				firstVisited = x
 			} else {
 				ev.uf.Union(firstVisited, x)
 			}
 		}
-		lv.G.ForEachNeighbor(x, func(y int) {
-			if y > x && ev.inH[y] {
+		xf := lv.FringeAt(xi)
+		topo.ForEachNeighbor(x, func(y int) {
+			if y > x && ev.inH[y] && !(xf && ev.fringeOf(lv, y)) {
 				ev.uf.Union(x, y)
 			}
 		})
@@ -177,13 +251,14 @@ func (ev *Evaluator) contract(lv *view.Local, n int, mergeVisited bool) {
 }
 
 // componentSet appends the sorted, deduplicated H-component roots through
-// which node u can be reached to dst and returns it.
+// which node u (a member) can be reached to dst and returns it.
 func (ev *Evaluator) componentSet(lv *view.Local, u int, dst []int) []int {
 	if ev.inH[u] {
 		dst = append(dst, ev.uf.Find(u))
 	} else {
-		lv.G.ForEachNeighbor(u, func(y int) {
-			if ev.inH[y] {
+		uf := ev.fringeOf(lv, u)
+		lv.Topo().ForEachNeighbor(u, func(y int) {
+			if ev.inH[y] && !(uf && ev.fringeOf(lv, y)) {
 				dst = append(dst, ev.uf.Find(y))
 			}
 		})
@@ -198,7 +273,6 @@ func (ev *Evaluator) componentSet(lv *view.Local, u int, dst []int) []int {
 // rows indexed by component root, counting coverage incrementally so a full
 // row short-circuits without a final counting pass.
 func (ev *Evaluator) dominating(lv *view.Local, nbrs []int) bool {
-	n := lv.G.N()
 	for i, u := range nbrs {
 		ev.nbrIdx[u] = i
 	}
@@ -208,8 +282,11 @@ func (ev *Evaluator) dominating(lv *view.Local, nbrs []int) bool {
 		if r < 0 {
 			r = len(ev.touched)
 			if r == len(ev.rows) {
-				ev.rows = append(ev.rows, graph.NewBitset(ev.n))
+				ev.rows = append(ev.rows, graph.NewBitset(len(nbrs)))
 				ev.rowCnt = append(ev.rowCnt, 0)
+			}
+			if ev.rows[r].Cap() < len(nbrs) {
+				ev.rows[r] = graph.NewBitset(len(nbrs))
 			}
 			ev.rows[r].Reset()
 			ev.rowCnt[r] = 0
@@ -224,16 +301,18 @@ func (ev *Evaluator) dominating(lv *view.Local, nbrs []int) bool {
 			}
 		}
 	}
-	for x := 0; x < n && !full; x++ {
-		if !ev.inH[x] {
-			continue
+	topo := lv.Topo()
+	for _, x := range ev.hMembers {
+		if full {
+			break
 		}
 		root := ev.uf.Find(x)
 		if i := ev.nbrIdx[x]; i >= 0 {
 			mark(root, i)
 		}
-		lv.G.ForEachNeighbor(x, func(y int) {
-			if i := ev.nbrIdx[y]; i >= 0 {
+		xf := ev.fringeOf(lv, x)
+		topo.ForEachNeighbor(x, func(y int) {
+			if i := ev.nbrIdx[y]; i >= 0 && !(xf && ev.fringeOf(lv, y)) {
 				mark(root, i)
 			}
 		})
@@ -248,21 +327,29 @@ func (ev *Evaluator) dominating(lv *view.Local, nbrs []int) bool {
 	return full
 }
 
-// bfsDistances fills ev.dist[:n] with hop distances from src over g (-1 for
-// unreachable nodes) without allocating.
-func (ev *Evaluator) bfsDistances(g *graph.Graph, src, n int) {
-	for i := 0; i < n; i++ {
-		ev.dist[i] = -1
-	}
+// viewDistances fills ev.dist with hop distances from src over the view's
+// edges, bounded to maxDist hops; untouched entries stay -1. ev.queue lists
+// the touched nodes for cleanup. Must run between begin and end (it relies
+// on memIdx).
+func (ev *Evaluator) viewDistances(lv *view.Local, src, maxDist int) {
+	ev.queue = ev.queue[:0]
 	ev.dist[src] = 0
-	queue := append(ev.queue[:0], src)
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
-		g.ForEachNeighbor(x, func(y int) {
+	ev.queue = append(ev.queue, src)
+	topo := lv.Topo()
+	for head := 0; head < len(ev.queue); head++ {
+		x := ev.queue[head]
+		d := ev.dist[x]
+		if int(d) >= maxDist {
+			continue
+		}
+		xf := ev.fringeOf(lv, x)
+		topo.ForEachNeighbor(x, func(y int) {
+			if ev.memIdx[y] == 0 || (xf && ev.fringeOf(lv, y)) {
+				return
+			}
 			if ev.dist[y] < 0 {
-				ev.dist[y] = ev.dist[x] + 1
-				queue = append(queue, y)
+				ev.dist[y] = d + 1
+				ev.queue = append(ev.queue, y)
 			}
 		})
 	}

@@ -14,14 +14,14 @@ import (
 // component. It shares no code with the Evaluator beyond the view types.
 func refCovered(lv *view.Local, union bool) bool {
 	v := lv.Owner
-	nbrs := lv.G.Neighbors(v)
+	nbrs := lv.Neighbors()
 	if len(nbrs) <= 1 {
 		return true
 	}
-	n := lv.G.N()
+	n := lv.N()
 	inH := make([]bool, n)
 	for x := 0; x < n; x++ {
-		inH[x] = x != v && lv.Visible[x] && lv.Pr[x].Greater(lv.Pr[v])
+		inH[x] = x != v && lv.IsVisible(x) && lv.Pr(x).Greater(lv.Pr(v))
 	}
 	label := make([]int, n)
 	for i := range label {
@@ -37,7 +37,7 @@ func refCovered(lv *view.Local, union bool) bool {
 		for len(queue) > 0 {
 			y := queue[0]
 			queue = queue[1:]
-			lv.G.ForEachNeighbor(y, func(z int) {
+			lv.ForEachNeighbor(y, func(z int) {
 				if inH[z] && label[z] < 0 {
 					label[z] = next
 					queue = append(queue, z)
@@ -53,7 +53,7 @@ func refCovered(lv *view.Local, union bool) bool {
 		super := -1
 		mergeable := make(map[int]bool)
 		for x := 0; x < n; x++ {
-			if inH[x] && lv.Pr[x].Status == view.Visited {
+			if inH[x] && lv.Pr(x).Status == view.Visited {
 				mergeable[label[x]] = true
 				if super < 0 {
 					super = label[x]
@@ -74,7 +74,7 @@ func refCovered(lv *view.Local, union bool) bool {
 			set[label[u]] = true
 			return set
 		}
-		lv.G.ForEachNeighbor(u, func(y int) {
+		lv.ForEachNeighbor(u, func(y int) {
 			if inH[y] {
 				set[label[y]] = true
 			}
@@ -83,7 +83,7 @@ func refCovered(lv *view.Local, union bool) bool {
 	}
 	for i := 0; i < len(nbrs); i++ {
 		for j := i + 1; j < len(nbrs); j++ {
-			if lv.G.HasEdge(nbrs[i], nbrs[j]) {
+			if lv.HasEdge(nbrs[i], nbrs[j]) {
 				continue
 			}
 			shared := false

@@ -110,7 +110,7 @@ func FuzzMaxMinPath(f *testing.F) {
 				if !ok {
 					continue
 				}
-				prv := lv.Pr[lv.Owner]
+				prv := lv.Pr(lv.Owner)
 				prev := u
 				seen := map[int]bool{u: true, w: true}
 				for _, x := range path {
@@ -118,15 +118,15 @@ func FuzzMaxMinPath(f *testing.F) {
 						t.Fatalf("repeated node %d in path %v", x, path)
 					}
 					seen[x] = true
-					if !lv.Pr[x].Greater(prv) {
+					if !lv.Pr(x).Greater(prv) {
 						t.Fatalf("low-priority intermediate %d in path %v", x, path)
 					}
-					if !lv.G.HasEdge(prev, x) {
+					if !lv.HasEdge(prev, x) {
 						t.Fatalf("non-adjacent hop %d-%d in path %v", prev, x, path)
 					}
 					prev = x
 				}
-				if !lv.G.HasEdge(prev, w) {
+				if !lv.HasEdge(prev, w) {
 					t.Fatalf("path %v does not reach %d", path, w)
 				}
 			}

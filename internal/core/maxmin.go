@@ -46,15 +46,15 @@ type maxMinSolver struct {
 }
 
 func newMaxMinSolver(lv *view.Local) *maxMinSolver {
-	prv := lv.Pr[lv.Owner]
+	prv := lv.Pr(lv.Owner)
 	var members []int
-	for x := 0; x < lv.G.N(); x++ {
-		if x != lv.Owner && lv.Visible[x] && lv.Pr[x].Greater(prv) {
+	for i, x32 := range lv.Members() {
+		if x := int(x32); x != lv.Owner && lv.PrAt(i).Greater(prv) {
 			members = append(members, x)
 		}
 	}
 	sort.Slice(members, func(i, j int) bool {
-		return lv.Pr[members[j]].Less(lv.Pr[members[i]])
+		return lv.Pr(members[j]).Less(lv.Pr(members[i]))
 	})
 	return &maxMinSolver{lv: lv, byPriority: members}
 }
@@ -92,10 +92,10 @@ func (s *maxMinSolver) path(u, w int) ([]int, bool) {
 // u and w are adjacent, or noPath when no replacement path connects them.
 func (s *maxMinSolver) maxMinNode(u, w int) int {
 	lv := s.lv
-	if lv.G.HasEdge(u, w) {
+	if lv.HasEdge(u, w) {
 		return directEdge
 	}
-	n := lv.G.N()
+	n := lv.N()
 	active := make([]bool, n)
 	uf := graph.NewUnionFind(n)
 	connected := func() bool {
@@ -105,7 +105,7 @@ func (s *maxMinSolver) maxMinNode(u, w int) int {
 	}
 	for _, x := range s.byPriority {
 		active[x] = true
-		lv.G.ForEachNeighbor(x, func(y int) {
+		lv.ForEachNeighbor(x, func(y int) {
 			if active[y] {
 				uf.Union(x, y)
 			}
@@ -124,7 +124,7 @@ func endpointRoots(lv *view.Local, active []bool, uf *graph.UnionFind, e int) []
 	if active[e] {
 		roots = append(roots, uf.Find(e))
 	}
-	lv.G.ForEachNeighbor(e, func(y int) {
+	lv.ForEachNeighbor(e, func(y int) {
 		if active[y] {
 			roots = append(roots, uf.Find(y))
 		}

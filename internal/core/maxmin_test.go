@@ -58,7 +58,7 @@ func TestMaxMinPathPrefersHighBottleneck(t *testing.T) {
 // intermediates are distinct, each has priority above the owner's, and
 // consecutive hops (including the endpoints) are adjacent in the view.
 func validatePath(lv *view.Local, u, w int, path []int) bool {
-	prv := lv.Pr[lv.Owner]
+	prv := lv.Pr(lv.Owner)
 	seen := map[int]bool{u: true, w: true}
 	prev := u
 	for _, x := range path {
@@ -66,15 +66,15 @@ func validatePath(lv *view.Local, u, w int, path []int) bool {
 			return false
 		}
 		seen[x] = true
-		if !lv.Pr[x].Greater(prv) {
+		if !lv.Pr(x).Greater(prv) {
 			return false
 		}
-		if !lv.G.HasEdge(prev, x) {
+		if !lv.HasEdge(prev, x) {
 			return false
 		}
 		prev = x
 	}
-	return lv.G.HasEdge(prev, w)
+	return lv.HasEdge(prev, w)
 }
 
 // bruteBottleneck returns the best achievable bottleneck priority (the
@@ -82,22 +82,22 @@ func validatePath(lv *view.Local, u, w int, path []int) bool {
 // search: for each candidate threshold node x, test whether u and w connect
 // using only intermediates with priority >= Pr(x).
 func bruteBottleneck(lv *view.Local, u, w int) (view.Priority, bool) {
-	if lv.G.HasEdge(u, w) {
+	if lv.HasEdge(u, w) {
 		return view.Priority{}, false // no intermediate needed
 	}
-	prv := lv.Pr[lv.Owner]
-	n := lv.G.N()
+	prv := lv.Pr(lv.Owner)
+	n := lv.N()
 	var best view.Priority
 	found := false
 	for x := 0; x < n; x++ {
-		if x == lv.Owner || !lv.Visible[x] || !lv.Pr[x].Greater(prv) {
+		if x == lv.Owner || !lv.IsVisible(x) || !lv.Pr(x).Greater(prv) {
 			continue
 		}
-		threshold := lv.Pr[x]
+		threshold := lv.Pr(x)
 		// BFS from u through intermediates with priority >= threshold.
 		ok := func() bool {
 			allowed := func(y int) bool {
-				return y != lv.Owner && lv.Visible[y] && !lv.Pr[y].Less(threshold)
+				return y != lv.Owner && lv.IsVisible(y) && !lv.Pr(y).Less(threshold)
 			}
 			// u and w are not adjacent (checked above), so any u-w
 			// connection found here goes through >= 1 intermediate.
@@ -107,7 +107,7 @@ func bruteBottleneck(lv *view.Local, u, w int) (view.Priority, bool) {
 				cur := queue[0]
 				queue = queue[1:]
 				reached := false
-				lv.G.ForEachNeighbor(cur, func(y int) {
+				lv.ForEachNeighbor(cur, func(y int) {
 					if y == w {
 						reached = true
 					}
@@ -156,17 +156,17 @@ func TestMaxMinLemma1Quick(t *testing.T) {
 						return false
 					}
 					if len(path) == 0 {
-						if !lv.G.HasEdge(u, w) {
+						if !lv.HasEdge(u, w) {
 							return false
 						}
 						continue
 					}
 					// The minimum priority on the returned path must match
 					// the brute-force optimal bottleneck.
-					minPr := lv.Pr[path[0]]
+					minPr := lv.Pr(path[0])
 					for _, x := range path[1:] {
-						if lv.Pr[x].Less(minPr) {
-							minPr = lv.Pr[x]
+						if lv.Pr(x).Less(minPr) {
+							minPr = lv.Pr(x)
 						}
 					}
 					want, found := bruteBottleneck(lv, u, w)

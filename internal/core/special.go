@@ -12,30 +12,24 @@ import (
 // replacement paths of at most three hops.
 func SpanCovered(lv *view.Local) bool {
 	v := lv.Owner
-	nbrs := lv.G.Neighbors(v)
+	nbrs := lv.Neighbors()
 	if len(nbrs) <= 1 {
 		return true
 	}
-	prv := lv.Pr[v]
-	n := lv.G.N()
+	prv := lv.Pr(v)
+	n := lv.N()
 	inH := make([]bool, n)
-	for x := 0; x < n; x++ {
-		if x != v && lv.Visible[x] && lv.Pr[x].Greater(prv) {
+	for i, x32 := range lv.Members() {
+		if x := int(x32); x != v && lv.PrAt(i).Greater(prv) {
 			inH[x] = true
 		}
 	}
 	// hn[x] = H-neighborhood of x restricted to H members.
 	hn := make([]*graph.Bitset, n)
-	hSet := graph.NewBitset(n)
-	for x := 0; x < n; x++ {
-		if inH[x] {
-			hSet.Set(x)
-		}
-	}
 	hNbrs := func(x int) *graph.Bitset {
 		if hn[x] == nil {
 			bs := graph.NewBitset(n)
-			lv.G.ForEachNeighbor(x, func(y int) {
+			lv.ForEachNeighbor(x, func(y int) {
 				if inH[y] {
 					bs.Set(y)
 				}
@@ -60,7 +54,7 @@ func SpanCovered(lv *view.Local) bool {
 	}
 	for i := 0; i < len(nbrs); i++ {
 		for j := i + 1; j < len(nbrs); j++ {
-			if lv.G.HasEdge(nbrs[i], nbrs[j]) {
+			if lv.HasEdge(nbrs[i], nbrs[j]) {
 				continue
 			}
 			if a[i].Intersects(a[j]) {
@@ -78,10 +72,10 @@ func SpanCovered(lv *view.Local) bool {
 // WuLiMarked reports the marking-process gateway status (Section 6.1): the
 // owner is marked iff it has two neighbors that are not directly connected.
 func WuLiMarked(lv *view.Local) bool {
-	nbrs := lv.G.Neighbors(lv.Owner)
+	nbrs := lv.Neighbors()
 	for i := 0; i < len(nbrs); i++ {
 		for j := i + 1; j < len(nbrs); j++ {
-			if !lv.G.HasEdge(nbrs[i], nbrs[j]) {
+			if !lv.HasEdge(nbrs[i], nbrs[j]) {
 				return true
 			}
 		}
@@ -92,7 +86,7 @@ func WuLiMarked(lv *view.Local) bool {
 // WuLiRule1 reports whether pruning Rule 1 unmarks the owner: some single
 // higher-priority coverage node u satisfies N(v) ⊆ N(u) ∪ {u}.
 func WuLiRule1(lv *view.Local) bool {
-	nbrs := lv.G.Neighbors(lv.Owner)
+	nbrs := lv.Neighbors()
 	for _, u := range wuLiCandidates(lv) {
 		if coversAll(lv, nbrs, u, -1) {
 			return true
@@ -105,11 +99,11 @@ func WuLiRule1(lv *view.Local) bool {
 // connected higher-priority coverage nodes u, w jointly satisfy
 // N(v) ⊆ N(u) ∪ N(w) ∪ {u, w}.
 func WuLiRule2(lv *view.Local) bool {
-	nbrs := lv.G.Neighbors(lv.Owner)
+	nbrs := lv.Neighbors()
 	cands := wuLiCandidates(lv)
 	for i := 0; i < len(cands); i++ {
 		for j := i + 1; j < len(cands); j++ {
-			if !lv.G.HasEdge(cands[i], cands[j]) {
+			if !lv.HasEdge(cands[i], cands[j]) {
 				continue
 			}
 			if coversAll(lv, nbrs, cands[i], cands[j]) {
@@ -125,18 +119,17 @@ func WuLiRule2(lv *view.Local) bool {
 // adjacent to at least one of the owner's neighbors).
 func wuLiCandidates(lv *view.Local) []int {
 	v := lv.Owner
-	prv := lv.Pr[v]
-	n := lv.G.N()
-	near := make([]bool, n)
-	lv.G.ForEachNeighbor(v, func(u int) {
+	prv := lv.Pr(v)
+	near := make([]bool, lv.N())
+	lv.ForEachNeighbor(v, func(u int) {
 		near[u] = true
-		lv.G.ForEachNeighbor(u, func(w int) {
+		lv.ForEachNeighbor(u, func(w int) {
 			near[w] = true
 		})
 	})
 	var cands []int
-	for x := 0; x < n; x++ {
-		if x != v && near[x] && lv.Visible[x] && lv.Pr[x].Greater(prv) {
+	for i, x32 := range lv.Members() {
+		if x := int(x32); x != v && near[x] && lv.PrAt(i).Greater(prv) {
 			cands = append(cands, x)
 		}
 	}
@@ -150,10 +143,10 @@ func coversAll(lv *view.Local, nbrs []int, u, w int) bool {
 		if x == u || x == w {
 			continue
 		}
-		if lv.G.HasEdge(u, x) {
+		if lv.HasEdge(u, x) {
 			continue
 		}
-		if w >= 0 && lv.G.HasEdge(w, x) {
+		if w >= 0 && lv.HasEdge(w, x) {
 			continue
 		}
 		return false
@@ -166,14 +159,12 @@ func coversAll(lv *view.Local, nbrs []int, u, w int) bool {
 // or adjacent to one. Only visited nodes that are direct neighbors count —
 // SBA learns broadcast state exclusively by hearing neighbors transmit.
 func SBACovered(lv *view.Local) bool {
-	v := lv.Owner
-	nbrs := lv.G.Neighbors(v)
-	n := lv.G.N()
-	done := make([]bool, n)
+	nbrs := lv.Neighbors()
+	done := make([]bool, lv.N())
 	for _, u := range nbrs {
 		if lv.IsVisited(u) {
 			done[u] = true
-			lv.G.ForEachNeighbor(u, func(w int) {
+			lv.ForEachNeighbor(u, func(w int) {
 				done[w] = true
 			})
 		}
@@ -192,8 +183,8 @@ func SBACovered(lv *view.Local) bool {
 // N(owner) ⊆ C.
 func LENWBCovered(lv *view.Local, from int) bool {
 	v := lv.Owner
-	prv := lv.Pr[v]
-	n := lv.G.N()
+	prv := lv.Pr(v)
+	n := lv.N()
 	if from < 0 || from >= n {
 		return false
 	}
@@ -207,16 +198,16 @@ func LENWBCovered(lv *view.Local, from int) bool {
 	for len(queue) > 0 {
 		x := queue[0]
 		queue = queue[1:]
-		lv.G.ForEachNeighbor(x, func(y int) {
+		lv.ForEachNeighbor(x, func(y int) {
 			inC[y] = true
-			if !reached[y] && y != v && lv.Visible[y] && lv.Pr[y].Greater(prv) {
+			if !reached[y] && y != v && lv.Pr(y).Greater(prv) {
 				reached[y] = true
 				queue = append(queue, y)
 			}
 		})
 	}
 	ok := true
-	lv.G.ForEachNeighbor(v, func(u int) {
+	lv.ForEachNeighbor(v, func(u int) {
 		if !inC[u] {
 			ok = false
 		}

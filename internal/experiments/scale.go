@@ -28,7 +28,7 @@ import (
 // ScaleConfig controls a large-n scale sweep.
 type ScaleConfig struct {
 	// Sizes lists the network sizes, swept in order (default 1000, 5000,
-	// 10000, 25000).
+	// 10000, 25000, 100000, 1000000).
 	Sizes []int
 	// Degree is the target average degree (default 18). Random unit disk
 	// graphs need average degree on the order of log n to be connected, so
@@ -38,7 +38,9 @@ type ScaleConfig struct {
 	Degree int
 	// Replicates is the fixed per-point replication count (default 5; the
 	// per-run variance of ratio metrics shrinks with n, so scale points need
-	// far fewer replicates than the paper's n<=100 points).
+	// far fewer replicates than the paper's n<=100 points). Points with
+	// n >= 100,000 cap the count at 2: at that scale the ratio metrics are
+	// essentially deterministic and each replicate costs minutes.
 	Replicates int
 	// Seed is the base workload seed (default 42).
 	Seed int64
@@ -57,7 +59,7 @@ type ScaleConfig struct {
 
 func (c ScaleConfig) withDefaults() ScaleConfig {
 	if len(c.Sizes) == 0 {
-		c.Sizes = []int{1000, 5000, 10000, 25000}
+		c.Sizes = []int{1000, 5000, 10000, 25000, 100000, 1000000}
 	}
 	if c.Degree == 0 {
 		c.Degree = 18
@@ -75,6 +77,15 @@ func (c ScaleConfig) withDefaults() ScaleConfig {
 		c.Hops = 2
 	}
 	return c
+}
+
+// repsFor returns the replicate count for one size point: the configured
+// count, capped at 2 for the 100k+ points (see ScaleConfig.Replicates).
+func (c ScaleConfig) repsFor(n int) int {
+	if n >= 100000 && c.Replicates > 2 {
+		return 2
+	}
+	return c.Replicates
 }
 
 // ScaleRow is one (size, variant) result of a scale sweep. Delivery and
@@ -136,11 +147,12 @@ func Scale(cfg ScaleConfig) ([]ScaleRow, error) {
 	variants := scaleVariants()
 	var rows []ScaleRow
 	for _, n := range cfg.Sizes {
-		samples := make([][]scaleSample, cfg.Replicates)
-		errs := make([]error, cfg.Replicates)
+		nreps := cfg.repsFor(n)
+		samples := make([][]scaleSample, nreps)
+		errs := make([]error, nreps)
 		workers := cfg.Parallelism
-		if workers > cfg.Replicates {
-			workers = cfg.Replicates
+		if workers > nreps {
+			workers = nreps
 		}
 		reps := make(chan int)
 		var wg sync.WaitGroup
@@ -148,13 +160,18 @@ func Scale(cfg ScaleConfig) ([]ScaleRow, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// One metrics record and one simulator arena per worker:
+				// the hot state (event calendar, flat node states, views,
+				// scratch) is allocated once and reused by every run the
+				// worker executes.
 				record := obsv.NewRunRecord()
+				arena := sim.NewArena()
 				for rep := range reps {
-					samples[rep], errs[rep] = scaleReplicate(cfg, n, rep, record)
+					samples[rep], errs[rep] = scaleReplicate(cfg, n, rep, record, arena)
 				}
 			}()
 		}
-		for rep := 0; rep < cfg.Replicates; rep++ {
+		for rep := 0; rep < nreps; rep++ {
 			reps <- rep
 		}
 		close(reps)
@@ -169,7 +186,7 @@ func Scale(cfg ScaleConfig) ([]ScaleRow, error) {
 		// worker count.
 		for vi, v := range variants {
 			var del, fwd, lat stats.Accumulator
-			for rep := 0; rep < cfg.Replicates; rep++ {
+			for rep := 0; rep < nreps; rep++ {
 				s := samples[rep][vi]
 				del.Add(s.delivery)
 				fwd.Add(s.forward)
@@ -179,7 +196,7 @@ func Scale(cfg ScaleConfig) ([]ScaleRow, error) {
 			row := ScaleRow{
 				N:          n,
 				Variant:    v.label,
-				Replicates: cfg.Replicates,
+				Replicates: nreps,
 				Delivery:   ds.Mean, DeliveryCI: ds.HalfWidth90,
 				Forward: fs.Mean, ForwardCI: fs.HalfWidth90,
 				Latency: ls.Mean, LatencyCI: ls.HalfWidth90,
@@ -194,8 +211,8 @@ func Scale(cfg ScaleConfig) ([]ScaleRow, error) {
 }
 
 // scaleReplicate generates one workload and runs every variant on it,
-// reusing one metrics record across the runs.
-func scaleReplicate(cfg ScaleConfig, n, rep int, record *obsv.RunRecord) ([]scaleSample, error) {
+// reusing one metrics record and one simulator arena across the runs.
+func scaleReplicate(cfg ScaleConfig, n, rep int, record *obsv.RunRecord, arena *sim.Arena) ([]scaleSample, error) {
 	seed := scaleSeed(cfg.Seed, n, cfg.Degree, rep)
 	rng := rand.New(rand.NewSource(seed))
 	net, err := geo.Generate(geo.Config{N: n, AvgDegree: float64(cfg.Degree), Seed: seed}, rng)
@@ -206,7 +223,7 @@ func scaleReplicate(cfg ScaleConfig, n, rep int, record *obsv.RunRecord) ([]scal
 	variants := scaleVariants()
 	out := make([]scaleSample, len(variants))
 	for vi, v := range variants {
-		res, err := sim.Run(net.G, source, v.make(), sim.Config{
+		res, err := sim.RunWith(arena, net.G, source, v.make(), sim.Config{
 			Hops:    cfg.Hops,
 			Seed:    seed + 1,
 			Metrics: record,

@@ -11,7 +11,7 @@ import (
 // (number of still-uncovered targets adjacent to it), breaking ties by the
 // lowest id, until the targets are covered or no candidate helps.
 func GreedyCover(lv *view.Local, xs, ys []int) []int {
-	n := lv.G.N()
+	n := lv.N()
 	remaining := make([]bool, n)
 	left := 0
 	for _, y := range ys {
@@ -29,7 +29,7 @@ func GreedyCover(lv *view.Local, xs, ys []int) []int {
 				continue
 			}
 			count := 0
-			lv.G.ForEachNeighbor(w, func(y int) {
+			lv.ForEachNeighbor(w, func(y int) {
 				if remaining[y] {
 					count++
 				}
@@ -44,7 +44,7 @@ func GreedyCover(lv *view.Local, xs, ys []int) []int {
 		w := cands[best]
 		cands[best] = -1
 		selected = append(selected, w)
-		lv.G.ForEachNeighbor(w, func(y int) {
+		lv.ForEachNeighbor(w, func(y int) {
 			if remaining[y] {
 				remaining[y] = false
 				left--
@@ -74,22 +74,22 @@ func dpDesignate(variant dpVariant) DesignateFunc {
 		v := st.ID
 		u := st.FirstFrom
 
-		n := lv.G.N()
+		n := lv.N()
 		excluded := make([]bool, n)
 		excluded[v] = true
 		if u >= 0 {
 			excluded[u] = true
-			lv.G.ForEachNeighbor(u, func(x int) {
+			lv.ForEachNeighbor(u, func(x int) {
 				excluded[x] = true
 			})
 		}
 		if variant == variantPDP && u >= 0 {
 			// Remove neighbors of the common neighbors of u and v.
-			lv.G.ForEachNeighbor(u, func(w int) {
-				if !lv.G.HasEdge(v, w) {
+			lv.ForEachNeighbor(u, func(w int) {
+				if !lv.HasEdge(v, w) {
 					return
 				}
-				lv.G.ForEachNeighbor(w, func(x int) {
+				lv.ForEachNeighbor(w, func(x int) {
 					excluded[x] = true
 				})
 			})
@@ -104,8 +104,8 @@ func dpDesignate(variant dpVariant) DesignateFunc {
 		}
 
 		var xs []int
-		lv.G.ForEachNeighbor(v, func(w int) {
-			if u < 0 || (w != u && !lv.G.HasEdge(u, w)) {
+		lv.ForEachNeighbor(v, func(w int) {
+			if u < 0 || (w != u && !lv.HasEdge(u, w)) {
 				xs = append(xs, w)
 			}
 		})
@@ -128,16 +128,16 @@ func dpDesignate(variant dpVariant) DesignateFunc {
 func NDDesignate(net *sim.Network, st *sim.NodeState) []int {
 	lv := st.View
 	v := st.ID
-	n := lv.G.N()
+	n := lv.N()
 	covered := make([]bool, n)
-	for x := 0; x < n; x++ {
-		if x != v && lv.Visible[x] && lv.Pr[x].Status >= view.Designated {
+	lv.ForEachMember(func(x int) {
+		if x != v && lv.Status(x) >= view.Designated {
 			covered[x] = true
-			lv.G.ForEachNeighbor(x, func(y int) {
+			lv.ForEachNeighbor(x, func(y int) {
 				covered[y] = true
 			})
 		}
-	}
+	})
 	var ys []int
 	for _, y := range lv.TwoHopTargets() {
 		if !covered[y] {
@@ -145,7 +145,7 @@ func NDDesignate(net *sim.Network, st *sim.NodeState) []int {
 		}
 	}
 	var xs []int
-	lv.G.ForEachNeighbor(v, func(w int) {
+	lv.ForEachNeighbor(v, func(w int) {
 		if !lv.IsVisited(w) {
 			xs = append(xs, w)
 		}
@@ -174,11 +174,11 @@ func HybridDesignate(maxDeg bool) DesignateFunc {
 		u := st.FirstFrom
 		fromD := st.FirstPacket.SenderDesignated()
 
-		n := lv.G.N()
+		n := lv.N()
 		covered := make([]bool, n)
 		markCovered := func(x int) {
 			covered[x] = true
-			lv.G.ForEachNeighbor(x, func(y int) {
+			lv.ForEachNeighbor(x, func(y int) {
 				covered[y] = true
 			})
 		}
@@ -193,11 +193,11 @@ func HybridDesignate(maxDeg bool) DesignateFunc {
 		// Nodes already known to be visited or designated cover their own
 		// neighborhoods; without this the designate-one chain never damps
 		// out and the strict rule forces nearly every node to forward.
-		for x := 0; x < n; x++ {
-			if lv.Visible[x] && lv.Pr[x].Status >= view.Designated {
+		lv.ForEachMember(func(x int) {
+			if lv.Status(x) >= view.Designated {
 				markCovered(x)
 			}
-		}
+		})
 
 		var uncovered []int
 		for _, y := range lv.TwoHopTargets() {
@@ -222,12 +222,12 @@ func HybridDesignate(maxDeg bool) DesignateFunc {
 		}
 
 		best, bestCount := -1, 0
-		lv.G.ForEachNeighbor(v, func(w int) {
+		lv.ForEachNeighbor(v, func(w int) {
 			if skip[w] || lv.IsVisited(w) {
 				return
 			}
 			count := 0
-			lv.G.ForEachNeighbor(w, func(y int) {
+			lv.ForEachNeighbor(w, func(y int) {
 				if inUncovered[y] {
 					count++
 				}

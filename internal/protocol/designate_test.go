@@ -100,7 +100,7 @@ func TestGreedyCoverCoversAllCoverableQuick(t *testing.T) {
 		selected := GreedyCover(lv, xs, ys)
 		covered := make(map[int]bool)
 		for _, w := range selected {
-			lv.G.ForEachNeighbor(w, func(y int) { covered[y] = true })
+			lv.ForEachNeighbor(w, func(y int) { covered[y] = true })
 		}
 		for _, y := range ys {
 			// Every 2-hop target is adjacent to some neighbor by

@@ -1,6 +1,9 @@
 package protocol
 
-import "adhocbcast/internal/sim"
+import (
+	"adhocbcast/internal/core"
+	"adhocbcast/internal/sim"
+)
 
 // Options configures one instance of the generic protocol engine.
 type Options struct {
@@ -13,6 +16,14 @@ type Options struct {
 	// Covered is the coverage condition; nil means never covered (pure
 	// flooding behavior for self-pruning protocols).
 	Covered CondFunc
+	// CoveredEval, when non-nil, computes the same predicate as Covered
+	// against the supplied evaluator instead of the network's shared one.
+	// It must be pure: no network mutation, no randomness, no reads of
+	// mutable state outside st. Setting it lets the fast engine precompute
+	// pending-timer verdicts on worker goroutines (sim.TimerPrecomputer);
+	// correctness never depends on it. Constructors set it alongside
+	// Covered whenever the condition qualifies.
+	CoveredEval func(st *sim.NodeState, ev *core.Evaluator) bool
 	// SelfPrune enables self decisions. When false the node forwards only
 	// if designated.
 	SelfPrune bool
@@ -32,8 +43,10 @@ type engine struct {
 }
 
 var (
-	_ sim.Protocol = (*engine)(nil)
-	_ Describer    = (*engine)(nil)
+	_ sim.Protocol         = (*engine)(nil)
+	_ Describer            = (*engine)(nil)
+	_ sim.TimerPrecomputer = (*engine)(nil)
+	_ sim.NonDesignating   = (*engine)(nil)
 )
 
 // New builds a protocol from explicit engine options. Most callers should
@@ -147,10 +160,54 @@ func (e *engine) covered(net *sim.Network, st *sim.NodeState) bool {
 	if e.opts.Covered == nil {
 		return false
 	}
-	if net != nil && net.ConservativeHold(st.ID) {
-		return false
+	if net != nil {
+		if c, ok := net.TakePreparedCovered(st.ID); ok {
+			// The fast engine precomputed this node's pending-timer verdict
+			// (PrecomputeTimer below) — including the conservative-fallback
+			// override — on a worker goroutine.
+			return c
+		}
+		if net.ConservativeHold(st.ID) {
+			return false
+		}
 	}
 	return e.opts.Covered(net, st)
+}
+
+// PrecomputeTimer implements sim.TimerPrecomputer: it returns the verdict
+// covered() will reach when node v's timer dispatches at the current instant,
+// provided the constructor declared a pure CoveredEval form of the condition
+// and no engine rule preempts the coverage evaluation (already sent, already
+// non-forward, strict designation). The simulator guarantees the timer is v's
+// earliest event of the instant, so the state read here is the state the
+// sequential dispatch would see.
+func (e *engine) PrecomputeTimer(net *sim.Network, v int, ev *core.Evaluator) (bool, bool) {
+	if e.opts.Covered == nil || e.opts.CoveredEval == nil {
+		return false, false
+	}
+	st := net.State(v)
+	if st.Sent || st.NonForward {
+		return false, false
+	}
+	if e.opts.StrictDesignation && st.Designated() {
+		return false, false
+	}
+	if net.ConservativeHold(v) {
+		return false, true
+	}
+	return e.opts.CoveredEval(st, ev), true
+}
+
+// NonDesignating implements sim.NonDesignating: with no designation mechanism
+// configured, packets never carry designated sets and the engine's receive
+// path for a node with only receive events pending reads nothing a view merge
+// changes (the self-pruning path just sets a timer on first receipt; the
+// static path consults only the precomputed status). Coverage conditions read
+// view marks, but they run from timers, never from OnReceive, on these
+// configurations.
+func (e *engine) NonDesignating() bool {
+	return e.opts.Designate == nil && e.opts.Extra == nil && !e.opts.StrictDesignation &&
+		(e.opts.SelfPrune || e.opts.Timing == TimingStatic)
 }
 
 func (e *engine) delay(net *sim.Network, v int) float64 {

@@ -23,6 +23,12 @@ func CoveredStrong(net *sim.Network, st *sim.NodeState) bool {
 	return net.Evaluator().StrongCovered(st.View)
 }
 
+// evalGeneric and evalStrong are the CoveredEval forms of the two conditions:
+// the same predicates against a caller-supplied evaluator, letting the fast
+// engine precompute timer verdicts in parallel.
+func evalGeneric(st *sim.NodeState, ev *core.Evaluator) bool { return ev.Covered(st.View) }
+func evalStrong(st *sim.NodeState, ev *core.Evaluator) bool  { return ev.StrongCovered(st.View) }
+
 // Flooding returns the blind-flooding baseline: every node forwards the
 // packet exactly once upon first receipt.
 func Flooding() sim.Protocol {
@@ -39,11 +45,12 @@ func Flooding() sim.Protocol {
 // (the "Generic" series of Figures 10, 12, 13, 14, 15, 16).
 func Generic(t Timing) sim.Protocol {
 	return New(Options{
-		Name:      "Generic-" + t.String(),
-		Timing:    t,
-		Selection: SelfPruning,
-		Covered:   CoveredGeneric,
-		SelfPrune: true,
+		Name:        "Generic-" + t.String(),
+		Timing:      t,
+		Selection:   SelfPruning,
+		Covered:     CoveredGeneric,
+		CoveredEval: evalGeneric,
+		SelfPrune:   true,
 	})
 }
 
@@ -51,11 +58,12 @@ func Generic(t Timing) sim.Protocol {
 // coverage condition under the given timing policy.
 func GenericStrong(t Timing) sim.Protocol {
 	return New(Options{
-		Name:      "GenericStrong-" + t.String(),
-		Timing:    t,
-		Selection: SelfPruning,
-		Covered:   CoveredStrong,
-		SelfPrune: true,
+		Name:        "GenericStrong-" + t.String(),
+		Timing:      t,
+		Selection:   SelfPruning,
+		Covered:     CoveredStrong,
+		CoveredEval: evalStrong,
+		SelfPrune:   true,
 	})
 }
 
@@ -63,11 +71,12 @@ func GenericStrong(t Timing) sim.Protocol {
 // Figure 11); it equals Generic(TimingFirstReceipt) under another name.
 func SelfPruningFR() sim.Protocol {
 	return New(Options{
-		Name:      "SP",
-		Timing:    TimingFirstReceipt,
-		Selection: SelfPruning,
-		Covered:   CoveredGeneric,
-		SelfPrune: true,
+		Name:        "SP",
+		Timing:      TimingFirstReceipt,
+		Selection:   SelfPruning,
+		Covered:     CoveredGeneric,
+		CoveredEval: evalGeneric,
+		SelfPrune:   true,
 	})
 }
 
@@ -96,12 +105,13 @@ func NeighborDesignatingFR() sim.Protocol {
 // self-pruning and pure neighbor-designating.
 func HybridMaxDeg() sim.Protocol {
 	return New(Options{
-		Name:      "MaxDeg",
-		Timing:    TimingFirstReceipt,
-		Selection: Hybrid,
-		Covered:   CoveredGeneric,
-		SelfPrune: true,
-		Designate: HybridDesignate(true),
+		Name:        "MaxDeg",
+		Timing:      TimingFirstReceipt,
+		Selection:   Hybrid,
+		Covered:     CoveredGeneric,
+		CoveredEval: evalGeneric,
+		SelfPrune:   true,
+		Designate:   HybridDesignate(true),
 	})
 }
 
@@ -110,11 +120,12 @@ func HybridMaxDeg() sim.Protocol {
 // rule as HybridMaxDeg.
 func HybridMinPri() sim.Protocol {
 	return New(Options{
-		Name:      "MinPri",
-		Timing:    TimingFirstReceipt,
-		Selection: Hybrid,
-		Covered:   CoveredGeneric,
-		SelfPrune: true,
-		Designate: HybridDesignate(false),
+		Name:        "MinPri",
+		Timing:      TimingFirstReceipt,
+		Selection:   Hybrid,
+		Covered:     CoveredGeneric,
+		CoveredEval: evalGeneric,
+		SelfPrune:   true,
+		Designate:   HybridDesignate(false),
 	})
 }

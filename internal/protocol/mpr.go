@@ -54,8 +54,11 @@ func (m *mpr) OnReceive(net *sim.Network, v int, r sim.Receipt) {
 	// Relaxed neighbor-designating rule: forward iff this node is a relay
 	// of the sender of its first copy. Relays of other designators need not
 	// forward — their neighbors are covered by the first sender's relays,
-	// whose designating times are earlier.
-	if st.DesignatedByNode(r.From) {
+	// whose designating times are earlier. A node whose view is provably
+	// incomplete (conservative fallback) cannot trust that reasoning — its
+	// missing links may hide exactly the designation it never saw — so it
+	// forwards instead of pruning (the default-forward safety property).
+	if st.DesignatedByNode(r.From) || net.ConservativeHold(v) {
 		net.Transmit(v, m.sets[v])
 		return
 	}

@@ -14,10 +14,10 @@ func WuLi() sim.Protocol {
 		Timing:    TimingStatic,
 		Selection: SelfPruning,
 		Covered: func(_ *sim.Network, st *sim.NodeState) bool {
-			if !core.WuLiMarked(st.View) {
-				return true
-			}
-			return core.WuLiRule1(st.View) || core.WuLiRule2(st.View)
+			return wuLiCovered(st)
+		},
+		CoveredEval: func(st *sim.NodeState, _ *core.Evaluator) bool {
+			return wuLiCovered(st)
 		},
 		SelfPrune: true,
 	})
@@ -34,14 +34,10 @@ func RuleK() sim.Protocol {
 		Timing:    TimingStatic,
 		Selection: SelfPruning,
 		Covered: func(net *sim.Network, st *sim.NodeState) bool {
-			maxDist := st.View.Hops - 1
-			if st.View.Hops <= 0 {
-				maxDist = 2 // global view: the paper's 3-hop-style restriction
-			}
-			if maxDist < 1 {
-				maxDist = 1
-			}
-			return net.Evaluator().StrongCoveredRestricted(st.View, maxDist)
+			return net.Evaluator().StrongCoveredRestricted(st.View, ruleKDist(st))
+		},
+		CoveredEval: func(st *sim.NodeState, ev *core.Evaluator) bool {
+			return ev.StrongCoveredRestricted(st.View, ruleKDist(st))
 		},
 		SelfPrune: true,
 	})
@@ -59,6 +55,9 @@ func Span() sim.Protocol {
 		Covered: func(_ *sim.Network, st *sim.NodeState) bool {
 			return core.SpanCovered(st.View)
 		},
+		CoveredEval: func(st *sim.NodeState, _ *core.Evaluator) bool {
+			return core.SpanCovered(st.View)
+		},
 		SelfPrune: true,
 	})
 }
@@ -72,6 +71,9 @@ func SBA() sim.Protocol {
 		Timing:    TimingBackoffRandom,
 		Selection: SelfPruning,
 		Covered: func(_ *sim.Network, st *sim.NodeState) bool {
+			return core.SBACovered(st.View)
+		},
+		CoveredEval: func(st *sim.NodeState, _ *core.Evaluator) bool {
 			return core.SBACovered(st.View)
 		},
 		SelfPrune: true,
@@ -90,11 +92,10 @@ func Stojmenovic() sim.Protocol {
 		Timing:    TimingBackoffRandom,
 		Selection: SelfPruning,
 		Covered: func(_ *sim.Network, st *sim.NodeState) bool {
-			lv := st.View
-			if !core.WuLiMarked(lv) || core.WuLiRule1(lv) || core.WuLiRule2(lv) {
-				return true
-			}
-			return core.SBACovered(lv)
+			return stojmenovicCovered(st)
+		},
+		CoveredEval: func(st *sim.NodeState, _ *core.Evaluator) bool {
+			return stojmenovicCovered(st)
 		},
 		SelfPrune: true,
 	})
@@ -112,6 +113,9 @@ func LimKimSelfPruning() sim.Protocol {
 		Covered: func(_ *sim.Network, st *sim.NodeState) bool {
 			return core.SBACovered(st.View)
 		},
+		CoveredEval: func(st *sim.NodeState, _ *core.Evaluator) bool {
+			return core.SBACovered(st.View)
+		},
 		SelfPrune: true,
 	})
 }
@@ -125,6 +129,9 @@ func LENWB() sim.Protocol {
 		Timing:    TimingFirstReceipt,
 		Selection: SelfPruning,
 		Covered: func(_ *sim.Network, st *sim.NodeState) bool {
+			return core.LENWBCovered(st.View, st.FirstFrom)
+		},
+		CoveredEval: func(st *sim.NodeState, _ *core.Evaluator) bool {
 			return core.LENWBCovered(st.View, st.FirstFrom)
 		},
 		SelfPrune: true,
@@ -184,4 +191,36 @@ func TDP() sim.Protocol {
 		StrictDesignation: true,
 		Extra:             twoHopExtra,
 	})
+}
+
+// wuLiCovered is the Wu-Li non-gateway predicate shared by the CondFunc and
+// CoveredEval forms: unmarked, or unmarked by pruning Rule 1 or 2.
+func wuLiCovered(st *sim.NodeState) bool {
+	if !core.WuLiMarked(st.View) {
+		return true
+	}
+	return core.WuLiRule1(st.View) || core.WuLiRule2(st.View)
+}
+
+// ruleKDist is Rule k's coverage-node distance bound for the view in use.
+func ruleKDist(st *sim.NodeState) int {
+	maxDist := st.View.Hops - 1
+	if st.View.Hops <= 0 {
+		maxDist = 2 // global view: the paper's 3-hop-style restriction
+	}
+	if maxDist < 1 {
+		maxDist = 1
+	}
+	return maxDist
+}
+
+// stojmenovicCovered is Stojmenovic's silence predicate shared by the
+// CondFunc and CoveredEval forms: statically covered by the Wu-Li rules, or
+// dynamically covered by SBA-style neighbor elimination.
+func stojmenovicCovered(st *sim.NodeState) bool {
+	lv := st.View
+	if !core.WuLiMarked(lv) || core.WuLiRule1(lv) || core.WuLiRule2(lv) {
+		return true
+	}
+	return core.SBACovered(lv)
 }

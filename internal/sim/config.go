@@ -21,6 +21,21 @@ import (
 	"adhocbcast/internal/view"
 )
 
+// EngineKind selects the event-loop implementation a run uses.
+type EngineKind int
+
+const (
+	// EngineFast is the default engine: a bucketed calendar queue of
+	// value-typed events, flat per-node hot state reused across runs, and
+	// optional worker-sharded same-instant precomputation (Workers). Its
+	// results are bit-identical to EngineOracle for every configuration
+	// and worker count.
+	EngineFast EngineKind = iota
+	// EngineOracle is the original single binary-heap engine, kept as the
+	// sequential oracle for differential testing.
+	EngineOracle
+)
+
 // ViewProvider supplies node v's private view topology: the graph node v
 // believes the network to be, on the global vertex numbering. Providers are
 // called once per node at run setup and must be pure (same v, same graph) for
@@ -82,6 +97,17 @@ type Config struct {
 	// TransmitDelay is the time for a transmission to reach all neighbors.
 	// Default 1.
 	TransmitDelay float64
+	// Engine selects the event-loop implementation. The default EngineFast
+	// and the EngineOracle reference produce bit-identical results; the
+	// oracle exists for differential testing and as the readable spec.
+	Engine EngineKind
+	// Workers is the number of goroutines the fast engine may use to
+	// precompute same-instant work (pending-timer coverage verdicts and
+	// receive-side view merges) before the sequential dispatch pass. 0 and
+	// 1 both mean fully sequential. Results are bit-identical for any
+	// worker count; EngineOracle ignores the field. With Workers > 1,
+	// ViewIncomplete (if set) must be safe for concurrent calls.
+	Workers int
 	// Seed drives the run's private RNG streams. Each stochastic model
 	// (backoff, jitter, loss, recovery) draws from its own stream derived
 	// from Seed, so enabling one model never perturbs the draws of the
@@ -149,6 +175,12 @@ func (c Config) validate(n int) error {
 	}
 	if c.RetryBackoff < 0 || math.IsNaN(c.RetryBackoff) {
 		return fmt.Errorf("sim: negative RetryBackoff %v", c.RetryBackoff)
+	}
+	if c.Engine != EngineFast && c.Engine != EngineOracle {
+		return fmt.Errorf("sim: unknown Engine %d", c.Engine)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: negative Workers %d", c.Workers)
 	}
 	if c.Faults != nil {
 		if err := c.Faults.Validate(n); err != nil {

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"adhocbcast/internal/core"
+)
+
+// TimerPrecomputer is implemented by protocols whose pending-timer coverage
+// decision is a pure function of the timer owner's current state: given node
+// v with a timer firing now, PrecomputeTimer returns the verdict the
+// protocol's OnTimer coverage evaluation would reach, or ok=false when no
+// verdict applies (the timer then dispatches normally). Implementations must
+// not mutate the network, draw randomness, or read any mutable state outside
+// node v's own; ev is a private evaluator for this call. The fast engine
+// calls it from worker goroutines for timers that are their owner's earliest
+// event of the instant, and hands the verdict back through
+// Network.TakePreparedCovered during the sequential dispatch pass.
+type TimerPrecomputer interface {
+	PrecomputeTimer(net *Network, v int, ev *core.Evaluator) (covered, ok bool)
+}
+
+// NonDesignating is implemented by protocols for which receive handling never
+// observes designation state or the receiver's own view marks: no designated
+// sets ride the packet trails, and OnReceive for a node whose only events
+// this instant are receives reads nothing a view merge changes. For such
+// protocols the fast engine may apply a node's same-instant view merges from
+// a worker goroutine before the sequential dispatch pass; the merge is
+// monotone and per-node, so the final state is identical.
+type NonDesignating interface {
+	NonDesignating() bool
+}
+
+// evtKind bits classifying a node's events within one same-instant batch.
+const (
+	kindReceive   uint8 = 1 << iota // node has >= 1 receive event
+	kindOther                       // node has a timer/NACK/retransmit event
+	kindPremerged                   // node's view merges were applied by a worker
+)
+
+// loopFast is the calendar-queue event loop: it drains all events sharing the
+// earliest instant as one batch (events pushed while the batch runs carry
+// higher sequence numbers and later-or-equal times, so they land in a later
+// batch, preserving the oracle's exact (at, seq) dispatch order) and hands
+// the batch to runBatch.
+func (net *Network) loopFast() {
+	q := &net.arena.cal
+	for q.size > 0 {
+		at := q.peekTime()
+		if debugChecks && at < net.now {
+			panic(fmt.Sprintf("sim: event time %v before now %v", at, net.now))
+		}
+		net.now = at
+		batch := net.arena.batch[:0]
+		for q.size > 0 && q.peekTime() == at {
+			batch = append(batch, q.pop())
+		}
+		net.arena.batch = batch
+		net.runBatch(batch)
+	}
+}
+
+// runBatch processes one same-instant batch: an optional sequential collision
+// pass (fault pre-filter plus arrival counting, as in the oracle), an
+// optional parallel precompute pass, and the sequential dispatch pass that
+// replays the events in sequence order with byte-identical side effects.
+func (net *Network) runBatch(batch []event) {
+	coll := net.Cfg.Collisions
+	var arr []int32
+	var arrTouched []int
+	if coll {
+		// Copies already dropped by the fault plan do not count as arrivals —
+		// a down node's radio is off, not jamming. The filter and the counter
+		// run in batch order so fault-drop accounting matches the oracle.
+		live := batch[:0]
+		for i := range batch {
+			if batch[i].kind == eventReceive && net.dropByFault(&batch[i]) {
+				continue
+			}
+			live = append(live, batch[i])
+		}
+		batch = live
+		arr, arrTouched = net.countArrivals(func(yield func(*event)) {
+			for i := range batch {
+				yield(&batch[i])
+			}
+		})
+	}
+	var kinds []uint8
+	if net.workers > 1 && len(batch) > 1 {
+		kinds = net.precompute(batch)
+	}
+	for i := range batch {
+		e := &batch[i]
+		if coll && e.kind == eventReceive && arr[e.node] > 1 {
+			net.collided++
+			net.maybeNACK(e.node, e.receipt.From, e.attempt)
+			continue
+		}
+		switch {
+		case kinds != nil && e.kind == eventReceive && kinds[e.node]&kindPremerged != 0:
+			net.handleReceive(e.node, e.receipt, e.attempt, true)
+		case e.kind == eventTimer:
+			net.dispatch(e)
+			if net.prepared != nil {
+				// Drop any verdict the dispatch did not consume (node down,
+				// already sent, strict designation, ...).
+				net.prepared[e.node] = -1
+			}
+		default:
+			net.dispatch(e)
+		}
+	}
+	if coll {
+		net.clearArrivals(arr, arrTouched)
+	}
+	if kinds != nil {
+		for _, v := range net.arena.evtTouched {
+			kinds[v] = 0
+		}
+		net.arena.evtTouched = net.arena.evtTouched[:0]
+	}
+}
+
+// precompute is the parallel phase: it classifies the batch's events per node
+// sequentially, then shards two kinds of pure per-node work across worker
+// goroutines — coverage verdicts for timers that are their owner's earliest
+// event of the instant (any protocol implementing TimerPrecomputer), and view
+// merges for nodes whose only events this instant are receives (protocols
+// declaring NonDesignating, under a clean collision-free MAC). Workers write
+// only to disjoint per-node slots, so the merged outcome is deterministic and
+// independent of scheduling; everything order-sensitive stays in the
+// sequential dispatch pass.
+func (net *Network) precompute(batch []event) []uint8 {
+	a := net.arena
+	kinds := a.evtKind
+	touched := a.evtTouched[:0]
+	timers := a.timerIdx[:0]
+	tp, _ := net.protocol.(TimerPrecomputer)
+	for i := range batch {
+		e := &batch[i]
+		bit := kindOther
+		if e.kind == eventReceive {
+			bit = kindReceive
+		}
+		if kinds[e.node] == 0 {
+			touched = append(touched, e.node)
+			if e.kind == eventTimer && tp != nil && !net.down(e.node) {
+				timers = append(timers, i)
+			}
+		}
+		kinds[e.node] |= bit
+	}
+	a.evtTouched = touched
+	a.timerIdx = timers
+	premerge := false
+	if nd, ok := net.protocol.(NonDesignating); ok && nd.NonDesignating() &&
+		net.Cfg.LossRate == 0 && !net.Cfg.Collisions && net.plan == nil {
+		for _, v := range touched {
+			if kinds[v] == kindReceive {
+				kinds[v] |= kindPremerged
+				premerge = true
+			}
+		}
+	}
+	if len(timers) == 0 && !premerge {
+		return kinds
+	}
+	w := net.workers
+	evals := a.workerEvals(w, net.G.N())
+	var wg sync.WaitGroup
+	for wi := 0; wi < w; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for k := wi; k < len(timers); k += w {
+				e := &batch[timers[k]]
+				if cov, ok := tp.PrecomputeTimer(net, e.node, evals[wi]); ok {
+					verdict := int8(0)
+					if cov {
+						verdict = 1
+					}
+					net.prepared[e.node] = verdict
+				}
+			}
+			if !premerge {
+				return
+			}
+			// Shard merges by receiver so each node's merges apply in batch
+			// order within one worker (they are monotone and commutative, but
+			// the discipline costs nothing).
+			for i := range batch {
+				e := &batch[i]
+				if e.kind == eventReceive && e.node%w == wi &&
+					kinds[e.node]&kindPremerged != 0 {
+					net.mergeReceipt(&net.nodes[e.node], e.node, e.receipt)
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	return kinds
+}

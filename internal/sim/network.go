@@ -162,13 +162,16 @@ type Network struct {
 	Source int
 
 	protocol Protocol
-	eval     *core.Evaluator
+	arena    *Arena
 	rngs     streams
 	plan     *fault.Plan
 	now      float64
 	seq      int
-	queue    eventQueue
-	nodes    []*NodeState
+	fast     bool       // calendar-queue engine (EngineFast)
+	workers  int        // precompute workers (fast engine; >= 1)
+	queue    eventQueue // oracle engine's binary heap (EngineOracle)
+	nodes    []NodeState
+	prepared []int8 // precomputed timer verdicts (nil unless workers > 1)
 	forward  []int
 	base     []view.Priority
 	viewG    *graph.Graph   // topology the views were built from (global-view modes)
@@ -190,19 +193,46 @@ type Network struct {
 // source, malformed Config or fault plan); protocol behavior (including
 // failed delivery) is reported in the Result.
 func Run(g *graph.Graph, source int, p Protocol, cfg Config) (Result, error) {
+	return RunWith(nil, g, source, p, cfg)
+}
+
+// RunWith is Run with an explicit Arena: consecutive runs through the same
+// Arena reuse node state, event-queue buckets, evaluator scratch, and (when
+// topology, hops, and metric repeat) the built local views, making sweep
+// iterations allocation-free in steady state. A nil Arena allocates a private
+// one. An Arena serves one run at a time; concurrent runs need one each.
+// Because built views are cached by topology pointer, callers must not mutate
+// a graph in place between runs that share an Arena.
+func RunWith(a *Arena, g *graph.Graph, source int, p Protocol, cfg Config) (Result, error) {
 	if source < 0 || source >= g.N() {
 		return Result{}, fmt.Errorf("sim: source %d out of range [0,%d)", source, g.N())
 	}
 	if err := cfg.validate(g.N()); err != nil {
 		return Result{}, err
 	}
+	if a == nil {
+		a = NewArena()
+	}
 	net := &Network{
 		G:        g,
 		Cfg:      cfg.withDefaults(),
 		Source:   source,
 		protocol: p,
+		arena:    a,
 		rngs:     newStreams(cfg.Seed),
 		plan:     cfg.Faults,
+	}
+	net.fast = net.Cfg.Engine == EngineFast
+	net.workers = 1
+	if net.fast {
+		if net.Cfg.Workers > 1 {
+			net.workers = net.Cfg.Workers
+		}
+		a.cal.reset(net.Cfg.TransmitDelay)
+	}
+	a.ensureLoopScratch(g.N(), net.workers > 1)
+	if net.workers > 1 {
+		net.prepared = a.prepared
 	}
 	if m := net.Cfg.Metrics; m != nil {
 		m.Reset()
@@ -219,12 +249,15 @@ func Run(g *graph.Graph, source int, p Protocol, cfg Config) (Result, error) {
 
 func (net *Network) build() error {
 	n := net.G.N()
-	net.nodes = make([]*NodeState, n)
+	a := net.arena
+	net.nodes = a.stateNodes(n)
 	if net.Cfg.NodeViews != nil {
 		// Per-node views: every node's local view AND its priority metrics
 		// come from its own (possibly wrong) graph. Nodes therefore disagree
 		// not only about links but also about degree-derived priorities —
-		// exactly the divergence a lossy hello exchange produces.
+		// exactly the divergence a lossy hello exchange produces. Divergent
+		// views can never share the arena's view cache, so they are built
+		// fresh every run.
 		net.nodeView = make([]*graph.Graph, n)
 		for v := 0; v < n; v++ {
 			gv := net.Cfg.NodeViews(v)
@@ -236,11 +269,7 @@ func (net *Network) build() error {
 			}
 			net.nodeView[v] = gv
 			base := view.BasePriorities(gv, net.Cfg.Metric)
-			net.nodes[v] = &NodeState{
-				ID:        v,
-				View:      view.NewLocal(gv, v, net.Cfg.Hops, base),
-				FirstFrom: -1,
-			}
+			net.nodes[v].View = a.builder.Build(gv, v, net.Cfg.Hops, base)
 		}
 		return nil
 	}
@@ -251,13 +280,10 @@ func (net *Network) build() error {
 		vg = net.Cfg.ViewTopology
 	}
 	net.viewG = vg
-	net.base = view.BasePriorities(vg, net.Cfg.Metric)
+	views, base := a.viewsFor(vg, net.Cfg.Hops, net.Cfg.Metric)
+	net.base = base
 	for v := 0; v < n; v++ {
-		net.nodes[v] = &NodeState{
-			ID:        v,
-			View:      view.NewLocal(vg, v, net.Cfg.Hops, net.base),
-			FirstFrom: -1,
-		}
+		net.nodes[v].View = views[v]
 	}
 	return nil
 }
@@ -267,7 +293,7 @@ func (net *Network) build() error {
 // with sender -1 — it holds the packet from the start, so latency statistics
 // must not wait for a neighbor's retransmission to echo back.
 func (net *Network) deliverToSource() {
-	st := net.nodes[net.Source]
+	st := &net.nodes[net.Source]
 	st.Received = true
 	st.FirstPacket = Packet{Source: net.Source}
 	st.LastPacket = st.FirstPacket
@@ -286,6 +312,10 @@ func (net *Network) down(v int) bool {
 }
 
 func (net *Network) loop() {
+	if net.fast {
+		net.loopFast()
+		return
+	}
 	if !net.Cfg.Collisions {
 		for net.queue.Len() > 0 {
 			e := heap.Pop(&net.queue).(*event)
@@ -301,7 +331,7 @@ func (net *Network) loop() {
 	// or more copies arriving at the same receiver at the same instant
 	// destroy each other. Copies already dropped by the fault plan do not
 	// count as arrivals — a down node's radio is off, not jamming.
-	var batch []*event
+	batch := net.arena.obatch[:0]
 	for net.queue.Len() > 0 {
 		batch = batch[:0]
 		at := net.queue[0].at
@@ -319,19 +349,52 @@ func (net *Network) loop() {
 			}
 			live = append(live, e)
 		}
-		arrivals := make(map[int]int)
+		arr, touched := net.countArrivals(eventsOf(live))
 		for _, e := range live {
-			if e.kind == eventReceive {
-				arrivals[e.node]++
-			}
-		}
-		for _, e := range live {
-			if e.kind == eventReceive && arrivals[e.node] > 1 {
+			if e.kind == eventReceive && arr[e.node] > 1 {
 				net.collided++
 				net.maybeNACK(e.node, e.receipt.From, e.attempt)
 				continue
 			}
 			net.dispatch(e)
+		}
+		net.clearArrivals(arr, touched)
+	}
+	net.arena.obatch = batch[:0]
+}
+
+// countArrivals tallies same-instant receive arrivals per receiver into the
+// arena's flat count array, returning it with the list of touched nodes. The
+// caller must hand both back to clearArrivals once done — the array relies on
+// that discipline to stay all-zero between batches instead of being cleared
+// per batch (the batch is tiny compared to n).
+func (net *Network) countArrivals(events func(yield func(*event))) ([]int32, []int) {
+	arr := net.arena.arrCnt
+	touched := net.arena.arrTouched[:0]
+	events(func(e *event) {
+		if e.kind != eventReceive {
+			return
+		}
+		if arr[e.node] == 0 {
+			touched = append(touched, e.node)
+		}
+		arr[e.node]++
+	})
+	return arr, touched
+}
+
+func (net *Network) clearArrivals(arr []int32, touched []int) {
+	for _, v := range touched {
+		arr[v] = 0
+	}
+	net.arena.arrTouched = touched[:0]
+}
+
+// eventsOf adapts a pointer-event batch to the iterator countArrivals takes.
+func eventsOf(batch []*event) func(yield func(*event)) {
+	return func(yield func(*event)) {
+		for _, e := range batch {
+			yield(e)
 		}
 	}
 }
@@ -342,7 +405,7 @@ func (net *Network) dispatch(e *event) {
 		if net.dropByFault(e) {
 			return
 		}
-		net.handleReceive(e.node, e.receipt, e.attempt)
+		net.handleReceive(e.node, e.receipt, e.attempt, false)
 	case eventTimer:
 		if net.down(e.node) {
 			// A down node loses its pending decision timers: a crashed
@@ -378,7 +441,12 @@ func (net *Network) dropByFault(e *event) bool {
 	return false
 }
 
-func (net *Network) handleReceive(v int, r Receipt, attempt int) {
+// handleReceive delivers one packet copy to node v. merged marks a copy whose
+// view merge already happened in the fast engine's parallel pre-merge phase
+// (see precompute); everything order-sensitive — RNG draws, counters,
+// observers, receipt bookkeeping, the protocol callback — still runs here, in
+// event order.
+func (net *Network) handleReceive(v int, r Receipt, attempt int, merged bool) {
 	if debugChecks && net.down(v) {
 		panic(fmt.Sprintf("sim: delivery dispatched to down node %d at %v", v, net.now))
 	}
@@ -393,7 +461,7 @@ func (net *Network) handleReceive(v int, r Receipt, attempt int) {
 	if net.Cfg.Observer != nil {
 		net.Cfg.Observer.OnDeliver(v, r.From, net.now)
 	}
-	st := net.nodes[v]
+	st := &net.nodes[v]
 	first := !st.Received
 	if first && net.Cfg.Metrics != nil {
 		net.Cfg.Metrics.Latency.Observe(net.now)
@@ -406,9 +474,18 @@ func (net *Network) handleReceive(v int, r Receipt, attempt int) {
 	st.LastPacket = r.Packet
 	st.Receipts = append(st.Receipts, r)
 
-	// Merge broadcast state into the local view: the sender is visited
-	// (snooped); the trail carries piggybacked visited nodes and their
-	// designated forward sets.
+	if !merged {
+		net.mergeReceipt(st, v, r)
+	}
+	net.protocol.OnReceive(net, v, r)
+}
+
+// mergeReceipt merges a copy's broadcast state into v's local view: the
+// sender is visited (snooped); the trail carries piggybacked visited nodes
+// and their designated forward sets. Merging is monotone (status only ever
+// increases) and touches nothing but v's own state, which is what lets the
+// fast engine apply a node's same-instant merges from a worker goroutine.
+func (net *Network) mergeReceipt(st *NodeState, v int, r Receipt) {
 	st.View.MarkVisited(r.From)
 	for _, entry := range r.Packet.Trail {
 		st.View.MarkVisited(entry.Node)
@@ -423,7 +500,6 @@ func (net *Network) handleReceive(v int, r Receipt, attempt int) {
 			st.View.MarkDesignated(d)
 		}
 	}
-	net.protocol.OnReceive(net, v, r)
 }
 
 // maybeNACK schedules a recovery request from receiver v to sender `from`
@@ -441,7 +517,7 @@ func (net *Network) maybeNACK(v, from, attempt int) {
 	}
 	net.nacks++
 	net.seq++
-	heap.Push(&net.queue, &event{
+	net.pushEvent(event{
 		at:      net.now + net.Cfg.NACKDelay,
 		seq:     net.seq,
 		kind:    eventNACK,
@@ -462,7 +538,7 @@ func (net *Network) handleNACK(e *event) {
 	}
 	delay := math.Ldexp(net.Cfg.RetryBackoff, e.attempt-1)
 	net.seq++
-	heap.Push(&net.queue, &event{
+	net.pushEvent(event{
 		at:      net.now + delay,
 		seq:     net.seq,
 		kind:    eventRetransmit,
@@ -489,7 +565,7 @@ func (net *Network) handleRetransmit(e *event) {
 	net.retransmits++
 	net.copies++
 	net.seq++
-	heap.Push(&net.queue, &event{
+	net.pushEvent(event{
 		at:   arrive,
 		seq:  net.seq,
 		kind: eventReceive,
@@ -505,8 +581,8 @@ func (net *Network) handleRetransmit(e *event) {
 
 func (net *Network) result() Result {
 	delivered := 0
-	for _, st := range net.nodes {
-		if st.Received {
+	for v := range net.nodes {
+		if net.nodes[v].Received {
 			delivered++
 		}
 	}
@@ -578,18 +654,33 @@ func (net *Network) result() Result {
 // Now returns the current simulation time.
 func (net *Network) Now() float64 { return net.now }
 
-// Evaluator returns this run's shared coverage-condition evaluator. The
-// simulator is single-threaded per run, so every node decision of the run
-// reuses one set of scratch buffers instead of allocating per evaluation.
+// Evaluator returns this run's shared coverage-condition evaluator. Protocol
+// callbacks run sequentially, so every node decision of the run reuses one
+// set of scratch buffers instead of allocating per evaluation. The parallel
+// precompute phase never touches this instance — its workers get private
+// evaluators.
 func (net *Network) Evaluator() *core.Evaluator {
-	if net.eval == nil {
-		net.eval = core.NewEvaluator(net.G.N())
-	}
-	return net.eval
+	return net.arena.evaluator(net.G.N())
 }
 
-// State returns the simulator state of node v.
-func (net *Network) State(v int) *NodeState { return net.nodes[v] }
+// State returns the simulator state of node v. The returned pointer stays
+// valid for the whole run (node states live in one flat array that is never
+// reallocated after setup).
+func (net *Network) State(v int) *NodeState { return &net.nodes[v] }
+
+// TakePreparedCovered returns and consumes the precomputed coverage verdict
+// for node v's pending timer, if the fast engine's parallel phase produced
+// one for the current instant. Protocols consult it at the top of their timer
+// coverage evaluation (see the protocol engine); for sequential runs it
+// always reports ok=false.
+func (net *Network) TakePreparedCovered(v int) (covered, ok bool) {
+	if net.prepared == nil || net.prepared[v] < 0 {
+		return false, false
+	}
+	covered = net.prepared[v] == 1
+	net.prepared[v] = -1
+	return covered, true
+}
 
 // RandomBackoff draws a uniform backoff delay from [0, BackoffWindow).
 func (net *Network) RandomBackoff() float64 {
@@ -636,7 +727,7 @@ func (net *Network) SetTimer(v int, delay float64) {
 		delay = 0
 	}
 	net.seq++
-	heap.Push(&net.queue, &event{
+	net.pushEvent(event{
 		at:   net.now + delay,
 		seq:  net.seq,
 		kind: eventTimer,
@@ -649,10 +740,11 @@ func (net *Network) MarkNonForward(v int) {
 	if debugChecks && net.ConservativeHold(v) {
 		panic(fmt.Sprintf("sim: conservative-fallback node %d took non-forward status", v))
 	}
-	if !net.nodes[v].NonForward && net.Cfg.Observer != nil {
+	st := &net.nodes[v]
+	if !st.NonForward && net.Cfg.Observer != nil {
 		net.Cfg.Observer.OnNonForward(v, net.now)
 	}
-	net.nodes[v].NonForward = true
+	st.NonForward = true
 }
 
 // Transmit makes node v forward the broadcast packet now, carrying the given
@@ -666,7 +758,7 @@ func (net *Network) Transmit(v int, designated []int) {
 // TransmitExtra is Transmit with a protocol-specific extra payload attached
 // to the packet.
 func (net *Network) TransmitExtra(v int, designated, extra []int) {
-	st := net.nodes[v]
+	st := &net.nodes[v]
 	if st.Sent || net.down(v) {
 		return
 	}
@@ -703,7 +795,7 @@ func (net *Network) TransmitExtra(v int, designated, extra []int) {
 	net.G.ForEachNeighbor(v, func(u int) {
 		net.copies++
 		net.seq++
-		heap.Push(&net.queue, &event{
+		net.pushEvent(event{
 			at:   arrive,
 			seq:  net.seq,
 			kind: eventReceive,
@@ -715,4 +807,16 @@ func (net *Network) TransmitExtra(v int, designated, extra []int) {
 			},
 		})
 	})
+}
+
+// pushEvent enqueues e on whichever event queue the selected engine uses. The
+// fast engine's calendar queue stores events by value in reusable buckets;
+// the oracle allocates per push, exactly as the original simulator did.
+func (net *Network) pushEvent(e event) {
+	if net.fast {
+		net.arena.cal.push(e)
+		return
+	}
+	ec := e
+	heap.Push(&net.queue, &ec)
 }

@@ -1,0 +1,91 @@
+package view
+
+import (
+	"slices"
+
+	"adhocbcast/internal/graph"
+)
+
+// Builder constructs Local views with reusable bounded-BFS scratch, so that
+// building all n views of a run costs O(Σ|Nk(v)|·deg) time and only the
+// views' own member arrays in allocations. A Builder is not safe for
+// concurrent use; create one per goroutine.
+type Builder struct {
+	dist  []int32 // per-vertex BFS distance, -1 when untouched
+	queue []int32 // BFS frontier; doubles as the touched list for cleanup
+}
+
+// NewBuilder returns an empty Builder; scratch grows on first use.
+func NewBuilder() *Builder { return &Builder{} }
+
+func (b *Builder) ensure(n int) {
+	if len(b.dist) >= n {
+		return
+	}
+	old := len(b.dist)
+	b.dist = append(b.dist, make([]int32, n-old)...)
+	for i := old; i < n; i++ {
+		b.dist[i] = -1
+	}
+}
+
+// Build constructs the k-hop local view of owner over g with the given
+// shared base priorities. k <= 0 yields the global view. The base slice is
+// retained by the view (views overlay status changes on top of it).
+func (b *Builder) Build(g *graph.Graph, owner, k int, base []Priority) *Local {
+	n := g.N()
+	if k <= 0 {
+		members := make([]int32, n)
+		for i := range members {
+			members[i] = int32(i)
+		}
+		return &Local{
+			Owner:   owner,
+			Hops:    k,
+			topo:    g,
+			base:    base,
+			members: members,
+			meta:    make([]uint8, n),
+			global:  true,
+		}
+	}
+	b.ensure(n)
+	b.queue = b.queue[:0]
+	if owner >= 0 && owner < n {
+		b.dist[owner] = 0
+		b.queue = append(b.queue, int32(owner))
+	}
+	for head := 0; head < len(b.queue); head++ {
+		x := int(b.queue[head])
+		d := b.dist[x]
+		if int(d) >= k {
+			continue
+		}
+		g.ForEachNeighbor(x, func(y int) {
+			if b.dist[y] < 0 {
+				b.dist[y] = d + 1
+				b.queue = append(b.queue, int32(y))
+			}
+		})
+	}
+	members := make([]int32, len(b.queue))
+	copy(members, b.queue)
+	slices.Sort(members)
+	meta := make([]uint8, len(members))
+	for i, x := range members {
+		if int(b.dist[x]) == k {
+			meta[i] = metaFringe
+		}
+	}
+	for _, x := range b.queue {
+		b.dist[x] = -1
+	}
+	return &Local{
+		Owner:   owner,
+		Hops:    k,
+		topo:    g,
+		base:    base,
+		members: members,
+		meta:    meta,
+	}
+}
