@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race check-docs bench bench-compare bench-full figures table1 sample fuzz fuzz-smoke clean
+.PHONY: all build test test-race check-docs bench bench-compare bench-full figures table1 sample fuzz fuzz-smoke soak-smoke clean
 
 all: build test
 
@@ -15,7 +15,7 @@ test:
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/stats/ ./internal/experiments/ ./internal/sim/ ./internal/fault/
+	$(GO) test -race ./internal/stats/ ./internal/experiments/ ./internal/sim/ ./internal/fault/ ./internal/runtime/ ./cmd/bcastnode/
 	$(GO) test -tags simdebug ./internal/sim/
 	$(GO) run ./cmd/checkdocs
 
@@ -72,6 +72,13 @@ fuzz:
 fuzz-smoke:
 	$(GO) test -race ./internal/geo/ -run '^$$' -fuzz FuzzPlaceGridMatchesNaive -fuzztime 5s
 	$(GO) test -race ./internal/core/ -run '^$$' -fuzz FuzzEvaluatorMatchesReference -fuzztime 5s
+
+# CI-sized convergence soak under the race detector: live protocol engines on
+# real goroutines and timers, partitions and churn injected by the nemesis,
+# delivery cross-checked against the simulator. -short trims the broadcast
+# count; the full 200-broadcast soak runs without it.
+soak-smoke:
+	$(GO) test -race -short ./internal/runtime/soak/
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,138 @@
+// Command bcastnode runs one live broadcast-protocol node: the same engine
+// the simulator and the in-process live cluster run (internal/runtime), as a
+// standalone process speaking maelstrom-style JSON envelopes.
+//
+// Transport is either a duplex stream on stdin/stdout — newline-framed by
+// default (maelstrom-compatible), or length-prefixed with -framing length —
+// where a harness routes envelopes between processes; or UDP with -udp,
+// where each envelope is one datagram sent directly to its peer.
+//
+// The message protocol, all wrapped as {"src","dest","body":{...}}:
+//
+//	init       {"type":"init","node_id":"n1","node_ids":["n0","n1",...]}
+//	topology   {"type":"topology","topology":{"n0":["n1"],...}}  (full adjacency)
+//	broadcast  {"type":"broadcast","message":42}   start a wave at this node
+//	read       {"type":"read"}                     -> read_ok {"messages":[...]}
+//	status     {"type":"status"}                   -> status_ok (delivered, forwarded, nacks)
+//	pkt/nack/garble                                 inter-node protocol traffic
+//
+// Usage:
+//
+//	bcastnode -proto generic-fr -hops 2                       # stdin/stdout
+//	bcastnode -udp :7001 -peers n0=10.0.0.1:7001,n2=... -recovery
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"adhocbcast/internal/protocol"
+	"adhocbcast/internal/view"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bcastnode:", err)
+		os.Exit(1)
+	}
+}
+
+var metrics = map[string]view.Metric{
+	"id":     view.MetricID,
+	"degree": view.MetricDegree,
+	"ncr":    view.MetricNCR,
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bcastnode", flag.ContinueOnError)
+	var (
+		proto     = fs.String("proto", "generic-fr", "protocol: "+strings.Join(protocol.Names(), ", "))
+		hops      = fs.Int("hops", 2, "k-hop view depth (0 = global)")
+		metric    = fs.String("metric", "id", "priority metric: id, degree, ncr")
+		framing   = fs.String("framing", "line", "stdio framing: line (maelstrom-compatible) or length (4-byte big-endian prefix)")
+		udp       = fs.String("udp", "", "listen for UDP datagrams on this address instead of stdin/stdout")
+		peers     = fs.String("peers", "", "comma-separated name=host:port peer addresses (UDP mode)")
+		timescale = fs.Duration("timescale", 10*time.Millisecond, "wall-clock duration of one protocol time unit")
+		recovery  = fs.Bool("recovery", false, "enable the NACK retry/backoff recovery layer")
+		budget    = fs.Int("retry-budget", 3, "recovery retransmissions per (sender, receiver) link")
+		seed      = fs.Int64("seed", 1, "seed of the node's private backoff streams")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	mk, ok := protocol.ByName(*proto)
+	if !ok {
+		return fmt.Errorf("unknown protocol %q (valid: %s)", *proto, strings.Join(protocol.Names(), ", "))
+	}
+	m, ok := metrics[strings.ToLower(*metric)]
+	if !ok {
+		return fmt.Errorf("unknown metric %q (valid: id, degree, ncr)", *metric)
+	}
+	cfg := NodeConfig{
+		Protocol:     mk,
+		Hops:         *hops,
+		Metric:       m,
+		TimeScale:    *timescale,
+		NACKRecovery: *recovery,
+		RetryBudget:  *budget,
+		Seed:         *seed,
+	}
+
+	var w wire
+	if *udp != "" {
+		addr, err := net.ResolveUDPAddr("udp", *udp)
+		if err != nil {
+			return fmt.Errorf("-udp %q: %w", *udp, err)
+		}
+		conn, err := net.ListenUDP("udp", addr)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		peerAddrs, err := parsePeers(*peers)
+		if err != nil {
+			return err
+		}
+		w = newUDPWire(conn, peerAddrs)
+	} else {
+		var fr framer
+		switch *framing {
+		case "line":
+			fr = newLineFramer(os.Stdin, os.Stdout)
+		case "length":
+			fr = &lengthFramer{r: os.Stdin, w: os.Stdout}
+		default:
+			return fmt.Errorf("unknown framing %q (valid: line, length)", *framing)
+		}
+		w = &stdioWire{fr: fr}
+	}
+
+	node, err := NewNode(cfg, w)
+	if err != nil {
+		return err
+	}
+	return node.Run()
+}
+
+func parsePeers(s string) (map[string]*net.UDPAddr, error) {
+	peers := make(map[string]*net.UDPAddr)
+	if s == "" {
+		return peers, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("-peers entry %q is not name=host:port", part)
+		}
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("-peers %s: %w", name, err)
+		}
+		peers[name] = ua
+	}
+	return peers, nil
+}

@@ -1,0 +1,632 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"adhocbcast/internal/graph"
+	rt "adhocbcast/internal/runtime"
+	"adhocbcast/internal/sim"
+	"adhocbcast/internal/view"
+)
+
+// envelope is the maelstrom-style message wrapper: every frame on the wire is
+// one envelope, routed by node name.
+type envelope struct {
+	Src  string `json:"src"`
+	Dest string `json:"dest"`
+	Body body   `json:"body"`
+}
+
+// body is the union of all message bodies the node speaks. Type selects the
+// handler; the remaining fields are per-type (unused ones stay zero and are
+// omitted on the wire).
+type body struct {
+	Type      string `json:"type"`
+	MsgID     int    `json:"msg_id,omitempty"`
+	InReplyTo int    `json:"in_reply_to,omitempty"`
+
+	// init
+	NodeID  string   `json:"node_id,omitempty"`
+	NodeIDs []string `json:"node_ids,omitempty"`
+	// topology: the full adjacency by node name. The paper's protocols
+	// decide from k-hop local views; in a deployment nodes gather those via
+	// hello exchange, here the harness supplies the topology and each node
+	// cuts its own local view out of it.
+	Topology map[string][]string `json:"topology,omitempty"`
+
+	// broadcast / read / status: Message identifies one broadcast wave.
+	Message  *int64  `json:"message,omitempty"`
+	Messages []int64 `json:"messages,omitempty"`
+
+	// protocol traffic (pkt, nack, garble)
+	From    int         `json:"from,omitempty"`
+	Attempt int         `json:"attempt,omitempty"`
+	Packet  *sim.Packet `json:"packet,omitempty"`
+
+	// status_ok
+	Forwarded []int64 `json:"forwarded,omitempty"`
+	NACKs     int     `json:"nacks,omitempty"`
+
+	// error
+	Code int    `json:"code,omitempty"`
+	Text string `json:"text,omitempty"`
+}
+
+// maelstrom-compatible error codes.
+const (
+	errNotSupported = 10
+	errMalformed    = 12
+)
+
+// NodeConfig parameterizes one live node. The protocol and timing fields
+// mirror runtime.Config so a bcastnode deployment and a live cluster run the
+// same engine configuration.
+type NodeConfig struct {
+	Protocol       func() sim.Protocol
+	Hops           int
+	Metric         view.Metric
+	PiggybackDepth int
+	BackoffWindow  float64
+	TransmitDelay  float64
+	// TimeScale is the wall-clock duration of one protocol time unit
+	// (default 10ms: real-network scale rather than the cluster's 2ms).
+	TimeScale    time.Duration
+	NACKRecovery bool
+	RetryBudget  int
+	NACKDelay    float64
+	RetryBackoff float64
+	Seed         int64
+}
+
+func (c NodeConfig) withDefaults() NodeConfig {
+	if c.Metric == 0 {
+		c.Metric = view.MetricID
+	}
+	if c.PiggybackDepth == 0 {
+		c.PiggybackDepth = 2
+	}
+	if c.PiggybackDepth < 0 {
+		c.PiggybackDepth = 0
+	}
+	if c.BackoffWindow <= 0 {
+		c.BackoffWindow = 8
+	}
+	if c.TransmitDelay <= 0 {
+		c.TransmitDelay = 1
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 10 * time.Millisecond
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 3
+	}
+	if c.NACKDelay == 0 {
+		c.NACKDelay = 0.5
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 1
+	}
+	return c
+}
+
+// Node is one standalone protocol node: a handler loop around a runtime.Core
+// per broadcast message, speaking envelopes over a wire. All protocol state
+// is confined to the loop goroutine; the wire reader and timers post
+// closures into it.
+type Node struct {
+	cfg  NodeConfig
+	wire wire
+	errl *log.Logger
+
+	loop chan func()
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	name  string
+	self  int
+	names []string
+	index map[string]int
+	g     *graph.Graph
+	base  []view.Priority
+	start time.Time
+	msgID int
+	cores map[int64]*liveCore
+}
+
+// NewNode builds a node over the given wire.
+func NewNode(cfg NodeConfig, w wire) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Protocol == nil {
+		return nil, fmt.Errorf("bcastnode: NodeConfig.Protocol is nil")
+	}
+	return &Node{
+		cfg:   cfg,
+		wire:  w,
+		errl:  log.New(log.Writer(), "bcastnode: ", 0),
+		loop:  make(chan func(), 64),
+		done:  make(chan struct{}),
+		cores: make(map[int64]*liveCore),
+	}, nil
+}
+
+// Run reads envelopes until the wire closes, dispatching every message —
+// and every timer the protocol sets — onto the single handler loop. It
+// returns nil on a clean wire shutdown (EOF or closed socket).
+func (n *Node) Run() error {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			select {
+			case fn := <-n.loop:
+				fn()
+			case <-n.done:
+				// Drain what the reader enqueued before EOF so one-shot
+				// piped input (messages then immediate close) still gets
+				// every reply; timers that fire after this are dropped.
+				for {
+					select {
+					case fn := <-n.loop:
+						fn()
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+	var rerr error
+	for {
+		env, err := n.wire.recv()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				rerr = err
+			}
+			break
+		}
+		n.post(func() { n.handle(env) })
+	}
+	close(n.done)
+	n.wg.Wait()
+	return rerr
+}
+
+// post hands fn to the loop goroutine; it is dropped if the node is shutting
+// down.
+func (n *Node) post(fn func()) {
+	select {
+	case n.loop <- fn:
+	case <-n.done:
+	}
+}
+
+// after schedules fn on the loop after d protocol time units.
+func (n *Node) after(d float64, fn func()) {
+	time.AfterFunc(time.Duration(d*float64(n.cfg.TimeScale)), func() { n.post(fn) })
+}
+
+// now returns the node's clock in protocol time units.
+func (n *Node) now() float64 {
+	return float64(time.Since(n.start)) / float64(n.cfg.TimeScale)
+}
+
+func (n *Node) handle(env envelope) {
+	switch env.Body.Type {
+	case "init":
+		n.handleInit(env)
+	case "topology":
+		n.handleTopology(env)
+	case "broadcast":
+		n.handleBroadcast(env)
+	case "read":
+		n.handleRead(env)
+	case "status":
+		n.handleStatus(env)
+	case "pkt":
+		n.handlePkt(env)
+	case "nack":
+		n.handleNACK(env)
+	case "garble":
+		n.handleGarble(env)
+	default:
+		n.replyError(env, errNotSupported, fmt.Sprintf("unsupported message type %q", env.Body.Type))
+	}
+}
+
+func (n *Node) send(dest string, b body) {
+	n.msgID++
+	b.MsgID = n.msgID
+	if err := n.wire.send(envelope{Src: n.name, Dest: dest, Body: b}); err != nil {
+		n.errl.Printf("send to %s: %v", dest, err)
+	}
+}
+
+func (n *Node) reply(env envelope, b body) {
+	b.InReplyTo = env.Body.MsgID
+	n.send(env.Src, b)
+}
+
+func (n *Node) replyError(env envelope, code int, text string) {
+	n.reply(env, body{Type: "error", Code: code, Text: text})
+}
+
+func (n *Node) handleInit(env envelope) {
+	b := env.Body
+	n.names = b.NodeIDs
+	n.index = make(map[string]int, len(b.NodeIDs))
+	for i, name := range b.NodeIDs {
+		n.index[name] = i
+	}
+	self, ok := n.index[b.NodeID]
+	if !ok {
+		n.replyError(env, errMalformed, fmt.Sprintf("node_id %q not in node_ids", b.NodeID))
+		return
+	}
+	n.name = b.NodeID
+	n.self = self
+	n.start = time.Now()
+	n.reply(env, body{Type: "init_ok"})
+}
+
+func (n *Node) handleTopology(env envelope) {
+	if n.name == "" {
+		n.replyError(env, errMalformed, "topology before init")
+		return
+	}
+	g := graph.New(len(n.names))
+	for name, nbrs := range env.Body.Topology {
+		u, ok := n.index[name]
+		if !ok {
+			n.replyError(env, errMalformed, fmt.Sprintf("unknown node %q in topology", name))
+			return
+		}
+		for _, nb := range nbrs {
+			v, ok := n.index[nb]
+			if !ok {
+				n.replyError(env, errMalformed, fmt.Sprintf("unknown neighbor %q of %q", nb, name))
+				return
+			}
+			if err := g.AddEdge(u, v); err != nil {
+				n.replyError(env, errMalformed, err.Error())
+				return
+			}
+		}
+	}
+	n.g = g
+	n.base = view.BasePriorities(g, n.cfg.Metric)
+	// Topology changes reset all broadcast state: views were cut from the
+	// old graph.
+	n.cores = make(map[int64]*liveCore)
+	n.reply(env, body{Type: "topology_ok"})
+}
+
+// core returns (building on first use) the runtime core of one broadcast
+// message.
+func (n *Node) core(msg int64) *liveCore {
+	if lc, ok := n.cores[msg]; ok {
+		return lc
+	}
+	lc := &liveCore{n: n, msg: msg}
+	lv := view.NewLocal(n.g, n.self, n.cfg.Hops, n.base)
+	lc.core = rt.NewCore(n.self, n.cfg.Protocol(), lv, n.g, rt.CoreConfig{
+		N:              len(n.names),
+		PiggybackDepth: n.cfg.PiggybackDepth,
+		BackoffWindow:  n.cfg.BackoffWindow,
+		TransmitDelay:  n.cfg.TransmitDelay,
+		NACKRecovery:   n.cfg.NACKRecovery,
+		RetryBudget:    n.cfg.RetryBudget,
+		NACKDelay:      n.cfg.NACKDelay,
+		RetryBackoff:   n.cfg.RetryBackoff,
+	}, lc, rt.StreamSeed(n.cfg.Seed, "bcastnode.backoff", n.self, int(msg)))
+	lc.core.Init()
+	n.cores[msg] = lc
+	return lc
+}
+
+// ready guards handlers that need a configured topology.
+func (n *Node) ready(env envelope, needMessage bool) bool {
+	if n.g == nil {
+		n.replyError(env, errMalformed, "no topology configured")
+		return false
+	}
+	if needMessage && env.Body.Message == nil {
+		n.replyError(env, errMalformed, fmt.Sprintf("%s without message", env.Body.Type))
+		return false
+	}
+	return true
+}
+
+func (n *Node) handleBroadcast(env envelope) {
+	if !n.ready(env, true) {
+		return
+	}
+	lc := n.core(*env.Body.Message)
+	if !lc.core.Delivered() {
+		lc.core.Start()
+	}
+	n.reply(env, body{Type: "broadcast_ok"})
+}
+
+func (n *Node) handlePkt(env envelope) {
+	if !n.ready(env, true) {
+		return
+	}
+	if env.Body.Packet == nil {
+		n.replyError(env, errMalformed, "pkt without packet")
+		return
+	}
+	n.core(*env.Body.Message).core.HandlePacket(env.Body.From, *env.Body.Packet, n.now())
+}
+
+func (n *Node) handleNACK(env envelope) {
+	if !n.ready(env, true) {
+		return
+	}
+	n.core(*env.Body.Message).core.HandleNACK(env.Body.From, env.Body.Attempt)
+}
+
+// handleGarble reports a detectable drop to the recovery layer: the node
+// overheard attempt `attempt` from `from` but could not decode it. A real
+// radio would raise this itself; over this transport the harness (or a
+// relaying proxy) injects it when it drops a pkt.
+func (n *Node) handleGarble(env envelope) {
+	if !n.ready(env, true) {
+		return
+	}
+	n.core(*env.Body.Message).core.HandleGarble(env.Body.From, env.Body.Attempt)
+}
+
+func (n *Node) handleRead(env envelope) {
+	msgs := make([]int64, 0, len(n.cores))
+	for m, lc := range n.cores {
+		if lc.core.Delivered() {
+			msgs = append(msgs, m)
+		}
+	}
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i] < msgs[j] })
+	n.reply(env, body{Type: "read_ok", Messages: msgs})
+}
+
+func (n *Node) handleStatus(env envelope) {
+	b := body{Type: "status_ok"}
+	for m, lc := range n.cores {
+		if lc.core.Delivered() {
+			b.Messages = append(b.Messages, m)
+		}
+		if lc.core.Forwarded() {
+			b.Forwarded = append(b.Forwarded, m)
+		}
+		b.NACKs += lc.nacks
+	}
+	sort.Slice(b.Messages, func(i, j int) bool { return b.Messages[i] < b.Messages[j] })
+	sort.Slice(b.Forwarded, func(i, j int) bool { return b.Forwarded[i] < b.Forwarded[j] })
+	n.reply(env, b)
+}
+
+// liveCore binds one broadcast message's runtime.Core to the node's wire: it
+// is the runtime.Transport that turns engine actions into envelopes.
+type liveCore struct {
+	n     *Node
+	msg   int64
+	core  *rt.Core
+	nacks int
+}
+
+var _ rt.Transport = (*liveCore)(nil)
+
+func (lc *liveCore) Broadcast(pkt sim.Packet) {
+	m, p := lc.msg, pkt
+	lc.n.g.ForEachNeighbor(lc.n.self, func(u int) {
+		lc.n.send(lc.n.names[u], body{Type: "pkt", From: lc.n.self, Message: &m, Packet: &p})
+	})
+}
+
+func (lc *liveCore) Unicast(to int, pkt sim.Packet, attempt int) {
+	m, p := lc.msg, pkt
+	lc.n.send(lc.n.names[to], body{Type: "pkt", From: lc.n.self, Attempt: attempt, Message: &m, Packet: &p})
+}
+
+func (lc *liveCore) NACK(to int, attempt int) {
+	m := lc.msg
+	lc.n.send(lc.n.names[to], body{Type: "nack", From: lc.n.self, Attempt: attempt, Message: &m})
+}
+
+func (lc *liveCore) AfterTimer(d float64, fn func())    { lc.n.after(d, fn) }
+func (lc *liveCore) AfterRecovery(d float64, fn func()) { lc.n.after(d, fn) }
+
+// Down is always false: a live deployment's node is down by being absent,
+// not by a fault plan.
+func (lc *liveCore) Down() bool { return false }
+
+func (lc *liveCore) Now() float64 { return lc.n.now() }
+
+func (lc *liveCore) NoteDeliver(first bool, at float64) {}
+func (lc *liveCore) NoteSource()                        {}
+func (lc *liveCore) NoteNACK()                          { lc.nacks++ }
+func (lc *liveCore) NoteNonForward()                    {}
+
+// --- wires: how envelopes reach the node ---
+
+// wire is one duplex envelope transport. recv is called from the Run loop
+// only; send may be called concurrently with recv but is otherwise confined
+// to the handler loop.
+type wire interface {
+	recv() (envelope, error)
+	send(env envelope) error
+}
+
+// stdioWire speaks framed JSON over a single duplex byte stream (the
+// maelstrom shape: a harness routes envelopes between processes).
+type stdioWire struct {
+	fr framer
+	mu sync.Mutex
+}
+
+func (w *stdioWire) recv() (envelope, error) {
+	for {
+		frame, err := w.fr.ReadFrame()
+		if err != nil {
+			return envelope{}, err
+		}
+		if len(bytes.TrimSpace(frame)) == 0 {
+			continue
+		}
+		var env envelope
+		if err := json.Unmarshal(frame, &env); err != nil {
+			return envelope{}, fmt.Errorf("bcastnode: bad frame: %w", err)
+		}
+		return env, nil
+	}
+}
+
+func (w *stdioWire) send(env envelope) error {
+	b, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fr.WriteFrame(b)
+}
+
+// udpWire sends each envelope as one JSON datagram directly to its
+// destination peer. Peer addresses come from the -peers flag and are also
+// learned from incoming traffic, so replies reach clients that were never
+// configured.
+type udpWire struct {
+	conn  *net.UDPConn
+	mu    sync.Mutex
+	peers map[string]*net.UDPAddr
+	buf   []byte
+}
+
+func newUDPWire(conn *net.UDPConn, peers map[string]*net.UDPAddr) *udpWire {
+	if peers == nil {
+		peers = make(map[string]*net.UDPAddr)
+	}
+	return &udpWire{conn: conn, peers: peers, buf: make([]byte, 64<<10)}
+}
+
+func (w *udpWire) recv() (envelope, error) {
+	for {
+		sz, addr, err := w.conn.ReadFromUDP(w.buf)
+		if err != nil {
+			return envelope{}, err
+		}
+		var env envelope
+		if err := json.Unmarshal(w.buf[:sz], &env); err != nil {
+			// A malformed datagram is line noise, not a reason to die.
+			continue
+		}
+		if env.Src != "" {
+			w.mu.Lock()
+			w.peers[env.Src] = addr
+			w.mu.Unlock()
+		}
+		return env, nil
+	}
+}
+
+func (w *udpWire) send(env envelope) error {
+	w.mu.Lock()
+	addr := w.peers[env.Dest]
+	w.mu.Unlock()
+	if addr == nil {
+		return fmt.Errorf("bcastnode: no address for peer %q", env.Dest)
+	}
+	b, err := json.Marshal(env)
+	if err != nil {
+		return err
+	}
+	_, err = w.conn.WriteToUDP(b, addr)
+	return err
+}
+
+// --- stream framing ---
+
+// framer cuts a byte stream into frames. ReadFrame returns io.EOF at a clean
+// end of stream.
+type framer interface {
+	ReadFrame() ([]byte, error)
+	WriteFrame(b []byte) error
+}
+
+// lineFramer is the maelstrom framing: one JSON object per newline.
+type lineFramer struct {
+	r *bufio.Reader
+	w io.Writer
+}
+
+func newLineFramer(r io.Reader, w io.Writer) *lineFramer {
+	return &lineFramer{r: bufio.NewReaderSize(r, 1<<20), w: w}
+}
+
+func (f *lineFramer) ReadFrame() ([]byte, error) {
+	line, err := f.r.ReadBytes('\n')
+	if err == io.EOF && len(bytes.TrimSpace(line)) > 0 {
+		return line, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return line, nil
+}
+
+func (f *lineFramer) WriteFrame(b []byte) error {
+	_, err := f.w.Write(append(b, '\n'))
+	return err
+}
+
+// maxFrame bounds length-prefixed frames (1 MiB is far beyond any packet a
+// protocol here produces).
+const maxFrame = 1 << 20
+
+// lengthFramer is the binary framing: a 4-byte big-endian length prefix
+// followed by the JSON payload.
+type lengthFramer struct {
+	r io.Reader
+	w io.Writer
+}
+
+func (f *lengthFramer) ReadFrame() ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
+		return nil, err
+	}
+	sz := binary.BigEndian.Uint32(hdr[:])
+	if sz > maxFrame {
+		return nil, fmt.Errorf("bcastnode: frame of %d bytes exceeds the %d limit", sz, maxFrame)
+	}
+	buf := make([]byte, sz)
+	if _, err := io.ReadFull(f.r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+func (f *lengthFramer) WriteFrame(b []byte) error {
+	if len(b) > maxFrame {
+		return fmt.Errorf("bcastnode: frame of %d bytes exceeds the %d limit", len(b), maxFrame)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := f.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := f.w.Write(b)
+	return err
+}

@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"sort"
 	"strings"
 
 	"adhocbcast/internal/experiments"
@@ -31,31 +30,6 @@ func main() {
 	}
 }
 
-// protocols maps CLI names to factories.
-var protocols = map[string]func() sim.Protocol{
-	"flooding":       protocol.Flooding,
-	"generic-static": func() sim.Protocol { return protocol.Generic(protocol.TimingStatic) },
-	"generic-fr":     func() sim.Protocol { return protocol.Generic(protocol.TimingFirstReceipt) },
-	"generic-frb":    func() sim.Protocol { return protocol.Generic(protocol.TimingBackoffRandom) },
-	"generic-frbd":   func() sim.Protocol { return protocol.Generic(protocol.TimingBackoffDegree) },
-	"sp":             protocol.SelfPruningFR,
-	"nd":             protocol.NeighborDesignatingFR,
-	"maxdeg":         protocol.HybridMaxDeg,
-	"minpri":         protocol.HybridMinPri,
-	"wuli":           protocol.WuLi,
-	"rulek":          protocol.RuleK,
-	"span":           protocol.Span,
-	"mpr":            protocol.MPR,
-	"sba":            protocol.SBA,
-	"stojmenovic":    protocol.Stojmenovic,
-	"limkim-sp":      protocol.LimKimSelfPruning,
-	"ahbp":           protocol.AHBP,
-	"lenwb":          protocol.LENWB,
-	"dp":             protocol.DP,
-	"pdp":            protocol.PDP,
-	"tdp":            protocol.TDP,
-}
-
 var metrics = map[string]view.Metric{
 	"id":     view.MetricID,
 	"degree": view.MetricDegree,
@@ -67,7 +41,7 @@ func run(args []string) error {
 	var (
 		n      = fs.Int("n", 100, "number of nodes")
 		d      = fs.Float64("d", 6, "average node degree")
-		proto  = fs.String("proto", "generic-fr", "protocol: "+strings.Join(protocolNames(), ", "))
+		proto  = fs.String("proto", "generic-fr", "protocol: "+strings.Join(protocol.Names(), ", "))
 		hops   = fs.Int("hops", 2, "k-hop view depth (0 = global)")
 		metric = fs.String("metric", "id", "priority metric: id, degree, ncr")
 		seed   = fs.Int64("seed", 1, "workload seed")
@@ -89,9 +63,9 @@ func run(args []string) error {
 		}
 		return nil
 	}
-	mk, ok := protocols[strings.ToLower(*proto)]
+	mk, ok := protocol.ByName(*proto)
 	if !ok {
-		return fmt.Errorf("unknown protocol %q (valid: %s)", *proto, strings.Join(protocolNames(), ", "))
+		return fmt.Errorf("unknown protocol %q (valid: %s)", *proto, strings.Join(protocol.Names(), ", "))
 	}
 	m, ok := metrics[strings.ToLower(*metric)]
 	if !ok {
@@ -145,13 +119,4 @@ func run(args []string) error {
 		return fmt.Errorf("delivery incomplete: %d of %d nodes", res.Delivered, res.N)
 	}
 	return nil
-}
-
-func protocolNames() []string {
-	names := make([]string, 0, len(protocols))
-	for name := range protocols {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names
 }

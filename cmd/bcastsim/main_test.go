@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"adhocbcast/internal/protocol"
 )
 
 func TestRunDefault(t *testing.T) {
@@ -12,7 +14,7 @@ func TestRunDefault(t *testing.T) {
 }
 
 func TestRunEveryProtocolName(t *testing.T) {
-	for _, name := range protocolNames() {
+	for _, name := range protocol.Names() {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -50,7 +52,7 @@ func TestRunErrors(t *testing.T) {
 }
 
 func TestProtocolNamesSorted(t *testing.T) {
-	names := protocolNames()
+	names := protocol.Names()
 	if len(names) < 15 {
 		t.Fatalf("only %d protocols registered", len(names))
 	}

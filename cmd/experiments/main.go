@@ -71,6 +71,14 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *trace != "" {
+		// Fail now, not after hours of sweeping: trace export opens its
+		// files per data point, so an unwritable directory would otherwise
+		// surface mid-run.
+		if err := validateWritableDir(*trace); err != nil {
+			return fmt.Errorf("-tracedir: %w", err)
+		}
+	}
 	if *cpu != "" {
 		f, err := os.Create(*cpu)
 		if err != nil {
@@ -261,6 +269,21 @@ func runScale(sc experiments.ScaleConfig) error {
 	}
 	_, err := experiments.Scale(sc)
 	return err
+}
+
+// validateWritableDir creates dir if needed and proves it writable by
+// creating and removing a probe file.
+func validateWritableDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	probe, err := os.CreateTemp(dir, ".writable-*")
+	if err != nil {
+		return fmt.Errorf("directory %s is not writable: %w", dir, err)
+	}
+	name := probe.Name()
+	probe.Close()
+	return os.Remove(name)
 }
 
 // parseInts parses a comma-separated int list; "" yields nil (defaults).

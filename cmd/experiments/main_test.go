@@ -3,7 +3,9 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"adhocbcast/internal/obsv"
 )
@@ -48,6 +50,40 @@ func TestRunTraceDirAndProgress(t *testing.T) {
 		if len(recs) == 0 {
 			t.Fatalf("%s: empty trace file", name)
 		}
+	}
+}
+
+// TestTraceDirValidatedUpFront: an unusable -tracedir must abort before any
+// sweeping starts — here in front of the full -all -paper workload, which
+// would take minutes if validation were deferred to the first export.
+func TestTraceDirValidatedUpFront(t *testing.T) {
+	start := time.Now()
+	err := run([]string{"-all", "-paper", "-tracedir", "/dev/null/traces"})
+	if err == nil {
+		t.Fatal("run with unusable -tracedir succeeded")
+	}
+	if !strings.Contains(err.Error(), "-tracedir") {
+		t.Errorf("error does not name the flag: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("validation took %v: not up-front", elapsed)
+	}
+}
+
+func TestValidateWritableDir(t *testing.T) {
+	nested := filepath.Join(t.TempDir(), "a", "b")
+	if err := validateWritableDir(nested); err != nil {
+		t.Fatalf("fresh nested dir: %v", err)
+	}
+	if fi, err := os.Stat(nested); err != nil || !fi.IsDir() {
+		t.Fatalf("directory not created: %v %v", fi, err)
+	}
+	entries, err := os.ReadDir(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("probe file left behind: %v", entries)
 	}
 }
 

@@ -203,8 +203,8 @@ func VisitedUnionAblation(rc RunConfig) (Figure, error) {
 			Name:      "Generic-NoUnion",
 			Timing:    protocol.TimingFirstReceipt,
 			Selection: protocol.SelfPruning,
-			Covered: func(net *sim.Network, st *sim.NodeState) bool {
-				return net.Evaluator().CoveredWithoutVisitedUnion(st.View)
+			Covered: func(rt sim.Runtime, st *sim.NodeState) bool {
+				return rt.Evaluator().CoveredWithoutVisitedUnion(st.View)
 			},
 			SelfPrune: true,
 		})

@@ -69,7 +69,7 @@ const (
 // from; PDP further removes the neighborhoods of the common neighbors of u
 // and v, and TDP removes the piggybacked 2-hop neighborhood of u.
 func dpDesignate(variant dpVariant) DesignateFunc {
-	return func(net *sim.Network, st *sim.NodeState) []int {
+	return func(rt sim.Runtime, st *sim.NodeState) []int {
 		lv := st.View
 		v := st.ID
 		u := st.FirstFrom
@@ -125,7 +125,7 @@ func dpDesignate(variant dpVariant) DesignateFunc {
 // designated, selected from the neighbors that are not known visited. Unlike
 // plain DP it exploits the full broadcast state of the local view, which is
 // what the generic framework's Step 5 prescribes.
-func NDDesignate(net *sim.Network, st *sim.NodeState) []int {
+func NDDesignate(rt sim.Runtime, st *sim.NodeState) []int {
 	lv := st.View
 	v := st.ID
 	n := lv.N()
@@ -155,7 +155,7 @@ func NDDesignate(net *sim.Network, st *sim.NodeState) []int {
 
 // twoHopExtra piggybacks the forwarding node's 2-hop neighborhood N2(v)
 // (TDP's payload).
-func twoHopExtra(_ *sim.Network, st *sim.NodeState) []int {
+func twoHopExtra(_ sim.Runtime, st *sim.NodeState) []int {
 	lv := st.View
 	out := []int{st.ID}
 	out = append(out, lv.Neighbors()...)
@@ -168,7 +168,7 @@ func twoHopExtra(_ *sim.Network, st *sim.NodeState) []int {
 // at least one still-uncovered 2-hop neighbor, picked by maximum effective
 // degree (MaxDeg, ties by lowest id) or by lowest id (MinPri).
 func HybridDesignate(maxDeg bool) DesignateFunc {
-	return func(net *sim.Network, st *sim.NodeState) []int {
+	return func(rt sim.Runtime, st *sim.NodeState) []int {
 		lv := st.View
 		v := st.ID
 		u := st.FirstFrom

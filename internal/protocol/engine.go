@@ -65,26 +65,27 @@ func (e *engine) Describe() Info {
 	}
 }
 
-func (e *engine) Init(net *sim.Network) {
+func (e *engine) Init(rt sim.Runtime) {
 	if e.opts.Timing != TimingStatic {
 		return
 	}
 	// Static protocols decide every status proactively on the pristine
-	// views (topology only, no broadcast state).
-	n := net.G.N()
-	e.status = make([]bool, n)
-	for v := 0; v < n; v++ {
-		e.status[v] = !e.covered(net, net.State(v))
-	}
+	// views (topology only, no broadcast state). Only the runtime's local
+	// nodes are decided here: all of them in the simulator, just the owning
+	// node on a live per-node runtime.
+	e.status = make([]bool, rt.N())
+	rt.ForEachLocalNode(func(v int) {
+		e.status[v] = !e.covered(rt, rt.State(v))
+	})
 }
 
-func (e *engine) Start(net *sim.Network, source int) {
+func (e *engine) Start(rt sim.Runtime, source int) {
 	// The source node always forwards the packet.
-	e.forward(net, source)
+	e.forward(rt, source)
 }
 
-func (e *engine) OnReceive(net *sim.Network, v int, r Receipt) {
-	st := net.State(v)
+func (e *engine) OnReceive(rt sim.Runtime, v int, r Receipt) {
+	st := rt.State(v)
 	if st.Sent {
 		return
 	}
@@ -92,9 +93,9 @@ func (e *engine) OnReceive(net *sim.Network, v int, r Receipt) {
 
 	if e.opts.Timing == TimingStatic {
 		if first && e.status[v] {
-			e.forward(net, v)
+			e.forward(rt, v)
 		} else if first {
-			net.MarkNonForward(v)
+			rt.MarkNonForward(v)
 		}
 		return
 	}
@@ -102,7 +103,7 @@ func (e *engine) OnReceive(net *sim.Network, v int, r Receipt) {
 	// The strict rule: a designated node forwards no matter what, even if
 	// it had already taken non-forward status but has not yet transmitted.
 	if e.opts.StrictDesignation && st.Designated() {
-		e.forward(net, v)
+		e.forward(rt, v)
 		return
 	}
 
@@ -110,17 +111,17 @@ func (e *engine) OnReceive(net *sim.Network, v int, r Receipt) {
 		// Pure neighbor-designating without the strict rule: a designated
 		// node may still decline if its coverage condition holds.
 		if st.Designated() {
-			if e.covered(net, st) {
-				net.MarkNonForward(v)
+			if e.covered(rt, st) {
+				rt.MarkNonForward(v)
 				return
 			}
-			e.forward(net, v)
+			e.forward(rt, v)
 		}
 		return
 	}
 
 	if first {
-		net.SetTimer(v, e.delay(net, v))
+		rt.SetTimer(v, e.delay(rt, v))
 		return
 	}
 	// Relaxed designation with self-pruning: a designation can arrive after
@@ -128,26 +129,26 @@ func (e *engine) OnReceive(net *sim.Network, v int, r Receipt) {
 	// priority. Neighbors now rely on it at the raised 1.5 priority, so it
 	// must re-evaluate there and forward unless still covered.
 	if e.opts.Designate != nil && st.NonForward && st.Designated() {
-		if !e.covered(net, st) {
-			e.forward(net, v)
+		if !e.covered(rt, st) {
+			e.forward(rt, v)
 		}
 	}
 }
 
-func (e *engine) OnTimer(net *sim.Network, v int) {
-	st := net.State(v)
+func (e *engine) OnTimer(rt sim.Runtime, v int) {
+	st := rt.State(v)
 	if st.Sent || st.NonForward {
 		return
 	}
 	if e.opts.StrictDesignation && st.Designated() {
-		e.forward(net, v)
+		e.forward(rt, v)
 		return
 	}
-	if e.covered(net, st) {
-		net.MarkNonForward(v)
+	if e.covered(rt, st) {
+		rt.MarkNonForward(v)
 		return
 	}
-	e.forward(net, v)
+	e.forward(rt, v)
 }
 
 // covered evaluates the engine's coverage condition for the node owning st,
@@ -156,22 +157,22 @@ func (e *engine) OnTimer(net *sim.Network, v int) {
 // view, so it reports uncovered and keeps forward status (the paper's
 // default-forward safety property under imperfect knowledge). A nil Covered
 // option reports uncovered, preserving flooding behavior.
-func (e *engine) covered(net *sim.Network, st *sim.NodeState) bool {
+func (e *engine) covered(rt sim.Runtime, st *sim.NodeState) bool {
 	if e.opts.Covered == nil {
 		return false
 	}
-	if net != nil {
-		if c, ok := net.TakePreparedCovered(st.ID); ok {
+	if rt != nil {
+		if c, ok := rt.TakePreparedCovered(st.ID); ok {
 			// The fast engine precomputed this node's pending-timer verdict
 			// (PrecomputeTimer below) — including the conservative-fallback
 			// override — on a worker goroutine.
 			return c
 		}
-		if net.ConservativeHold(st.ID) {
+		if rt.ConservativeHold(st.ID) {
 			return false
 		}
 	}
-	return e.opts.Covered(net, st)
+	return e.opts.Covered(rt, st)
 }
 
 // PrecomputeTimer implements sim.TimerPrecomputer: it returns the verdict
@@ -210,30 +211,30 @@ func (e *engine) NonDesignating() bool {
 		(e.opts.SelfPrune || e.opts.Timing == TimingStatic)
 }
 
-func (e *engine) delay(net *sim.Network, v int) float64 {
+func (e *engine) delay(rt sim.Runtime, v int) float64 {
 	switch e.opts.Timing {
 	case TimingBackoffRandom:
-		return net.RandomBackoff()
+		return rt.RandomBackoff()
 	case TimingBackoffDegree:
-		return net.DegreeBackoff(v)
+		return rt.DegreeBackoff(v)
 	default:
 		return 0
 	}
 }
 
-func (e *engine) forward(net *sim.Network, v int) {
-	st := net.State(v)
+func (e *engine) forward(rt sim.Runtime, v int) {
+	st := rt.State(v)
 	if st.Sent {
 		return
 	}
 	var designated, extra []int
 	if e.opts.Designate != nil {
-		designated = e.opts.Designate(net, st)
+		designated = e.opts.Designate(rt, st)
 	}
 	if e.opts.Extra != nil {
-		extra = e.opts.Extra(net, st)
+		extra = e.opts.Extra(rt, st)
 	}
-	net.TransmitExtra(v, designated, extra)
+	rt.TransmitExtra(v, designated, extra)
 }
 
 // Receipt aliases the simulator receipt type for protocol callbacks.

@@ -54,7 +54,7 @@ func TestEngineStaticStatusPrecomputed(t *testing.T) {
 	// (Such a condition violates the coverage requirements; the engine must
 	// still execute it faithfully.)
 	g := lineGraph6(t)
-	always := func(*sim.Network, *sim.NodeState) bool { return true }
+	always := func(sim.Runtime, *sim.NodeState) bool { return true }
 	p := New(Options{Name: "static-all-covered", Timing: TimingStatic, SelfPrune: true, Covered: always})
 	res, err := sim.Run(g, 0, p, sim.Config{Hops: 2})
 	if err != nil {
@@ -76,12 +76,12 @@ func TestEngineStrictDesignationForcesForward(t *testing.T) {
 	p := New(Options{
 		Name:   "strict",
 		Timing: TimingFirstReceipt,
-		Covered: func(*sim.Network, *sim.NodeState) bool {
+		Covered: func(sim.Runtime, *sim.NodeState) bool {
 			return true // everyone covered: only designations force forwards
 		},
 		SelfPrune:         true,
 		StrictDesignation: true,
-		Designate: func(net *sim.Network, st *sim.NodeState) []int {
+		Designate: func(rt sim.Runtime, st *sim.NodeState) []int {
 			// Designate the largest neighbor id.
 			nbrs := st.View.Neighbors()
 			if len(nbrs) == 0 {
@@ -119,7 +119,7 @@ func TestEngineRelaxedNDDeclinesWhenCovered(t *testing.T) {
 		Timing:    TimingFirstReceipt,
 		Selection: NeighborDesignating,
 		Covered:   CoveredGeneric,
-		Designate: func(net *sim.Network, st *sim.NodeState) []int {
+		Designate: func(rt sim.Runtime, st *sim.NodeState) []int {
 			if st.ID == 0 {
 				return []int{1, 2}
 			}
@@ -158,7 +158,7 @@ func TestEngineUndesignatedNDNodeStaysSilent(t *testing.T) {
 		Name:      "nd-silent",
 		Timing:    TimingFirstReceipt,
 		Selection: NeighborDesignating,
-		Designate: func(*sim.Network, *sim.NodeState) []int { return nil },
+		Designate: func(sim.Runtime, *sim.NodeState) []int { return nil },
 	})
 	res, err := sim.Run(g, 0, p, sim.Config{Hops: 2})
 	if err != nil {

@@ -7,20 +7,20 @@ import (
 
 // CoveredGeneric adapts the generic coverage condition of Section 3 as a
 // CondFunc, evaluated on the run's shared scratch evaluator.
-func CoveredGeneric(net *sim.Network, st *sim.NodeState) bool {
-	if net == nil {
+func CoveredGeneric(rt sim.Runtime, st *sim.NodeState) bool {
+	if rt == nil {
 		return core.Covered(st.View)
 	}
-	return net.Evaluator().Covered(st.View)
+	return rt.Evaluator().Covered(st.View)
 }
 
 // CoveredStrong adapts the strong coverage condition of Section 6 as a
 // CondFunc, evaluated on the run's shared scratch evaluator.
-func CoveredStrong(net *sim.Network, st *sim.NodeState) bool {
-	if net == nil {
+func CoveredStrong(rt sim.Runtime, st *sim.NodeState) bool {
+	if rt == nil {
 		return core.StrongCovered(st.View)
 	}
-	return net.Evaluator().StrongCovered(st.View)
+	return rt.Evaluator().StrongCovered(st.View)
 }
 
 // evalGeneric and evalStrong are the CoveredEval forms of the two conditions:

@@ -31,23 +31,22 @@ func (m *mpr) Describe() Info {
 	}
 }
 
-func (m *mpr) Init(net *sim.Network) {
-	n := net.G.N()
-	m.sets = make([][]int, n)
-	for v := 0; v < n; v++ {
-		lv := net.State(v).View
+func (m *mpr) Init(rt sim.Runtime) {
+	m.sets = make([][]int, rt.N())
+	rt.ForEachLocalNode(func(v int) {
+		lv := rt.State(v).View
 		// Visited nodes are never considered: the whole 2-hop neighborhood
 		// must be covered by relays (static selection).
 		m.sets[v] = GreedyCover(lv, lv.Neighbors(), lv.TwoHopTargets())
-	}
+	})
 }
 
-func (m *mpr) Start(net *sim.Network, source int) {
-	net.Transmit(source, m.sets[source])
+func (m *mpr) Start(rt sim.Runtime, source int) {
+	rt.Transmit(source, m.sets[source])
 }
 
-func (m *mpr) OnReceive(net *sim.Network, v int, r sim.Receipt) {
-	st := net.State(v)
+func (m *mpr) OnReceive(rt sim.Runtime, v int, r sim.Receipt) {
+	st := rt.State(v)
 	if st.Sent || len(st.Receipts) != 1 {
 		return
 	}
@@ -58,11 +57,11 @@ func (m *mpr) OnReceive(net *sim.Network, v int, r sim.Receipt) {
 	// incomplete (conservative fallback) cannot trust that reasoning — its
 	// missing links may hide exactly the designation it never saw — so it
 	// forwards instead of pruning (the default-forward safety property).
-	if st.DesignatedByNode(r.From) || net.ConservativeHold(v) {
-		net.Transmit(v, m.sets[v])
+	if st.DesignatedByNode(r.From) || rt.ConservativeHold(v) {
+		rt.Transmit(v, m.sets[v])
 		return
 	}
-	net.MarkNonForward(v)
+	rt.MarkNonForward(v)
 }
 
-func (m *mpr) OnTimer(*sim.Network, int) {}
+func (m *mpr) OnTimer(sim.Runtime, int) {}

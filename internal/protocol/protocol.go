@@ -76,15 +76,15 @@ func (s Selection) String() string {
 
 // CondFunc evaluates a coverage condition for the node owning st; true means
 // the node is covered and may take non-forward status.
-type CondFunc func(net *sim.Network, st *sim.NodeState) bool
+type CondFunc func(rt sim.Runtime, st *sim.NodeState) bool
 
 // DesignateFunc selects the designated forward set a forwarding node
 // attaches to its transmission.
-type DesignateFunc func(net *sim.Network, st *sim.NodeState) []int
+type DesignateFunc func(rt sim.Runtime, st *sim.NodeState) []int
 
 // ExtraFunc builds a protocol-specific packet payload for a forwarding node
 // (e.g. TDP piggybacks the sender's 2-hop neighborhood).
-type ExtraFunc func(net *sim.Network, st *sim.NodeState) []int
+type ExtraFunc func(rt sim.Runtime, st *sim.NodeState) []int
 
 // Info describes a protocol for reporting (Table 1 of the paper).
 type Info struct {

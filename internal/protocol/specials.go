@@ -13,7 +13,7 @@ func WuLi() sim.Protocol {
 		Name:      "WuLi",
 		Timing:    TimingStatic,
 		Selection: SelfPruning,
-		Covered: func(_ *sim.Network, st *sim.NodeState) bool {
+		Covered: func(_ sim.Runtime, st *sim.NodeState) bool {
 			return wuLiCovered(st)
 		},
 		CoveredEval: func(st *sim.NodeState, _ *core.Evaluator) bool {
@@ -33,8 +33,8 @@ func RuleK() sim.Protocol {
 		Name:      "Rule k",
 		Timing:    TimingStatic,
 		Selection: SelfPruning,
-		Covered: func(net *sim.Network, st *sim.NodeState) bool {
-			return net.Evaluator().StrongCoveredRestricted(st.View, ruleKDist(st))
+		Covered: func(rt sim.Runtime, st *sim.NodeState) bool {
+			return rt.Evaluator().StrongCoveredRestricted(st.View, ruleKDist(st))
 		},
 		CoveredEval: func(st *sim.NodeState, ev *core.Evaluator) bool {
 			return ev.StrongCoveredRestricted(st.View, ruleKDist(st))
@@ -52,7 +52,7 @@ func Span() sim.Protocol {
 		Name:      "Span",
 		Timing:    TimingStatic,
 		Selection: SelfPruning,
-		Covered: func(_ *sim.Network, st *sim.NodeState) bool {
+		Covered: func(_ sim.Runtime, st *sim.NodeState) bool {
 			return core.SpanCovered(st.View)
 		},
 		CoveredEval: func(st *sim.NodeState, _ *core.Evaluator) bool {
@@ -70,7 +70,7 @@ func SBA() sim.Protocol {
 		Name:      "SBA",
 		Timing:    TimingBackoffRandom,
 		Selection: SelfPruning,
-		Covered: func(_ *sim.Network, st *sim.NodeState) bool {
+		Covered: func(_ sim.Runtime, st *sim.NodeState) bool {
 			return core.SBACovered(st.View)
 		},
 		CoveredEval: func(st *sim.NodeState, _ *core.Evaluator) bool {
@@ -91,7 +91,7 @@ func Stojmenovic() sim.Protocol {
 		Name:      "Stojmenovic",
 		Timing:    TimingBackoffRandom,
 		Selection: SelfPruning,
-		Covered: func(_ *sim.Network, st *sim.NodeState) bool {
+		Covered: func(_ sim.Runtime, st *sim.NodeState) bool {
 			return stojmenovicCovered(st)
 		},
 		CoveredEval: func(st *sim.NodeState, _ *core.Evaluator) bool {
@@ -110,7 +110,7 @@ func LimKimSelfPruning() sim.Protocol {
 		Name:      "LimKim-SP",
 		Timing:    TimingFirstReceipt,
 		Selection: SelfPruning,
-		Covered: func(_ *sim.Network, st *sim.NodeState) bool {
+		Covered: func(_ sim.Runtime, st *sim.NodeState) bool {
 			return core.SBACovered(st.View)
 		},
 		CoveredEval: func(st *sim.NodeState, _ *core.Evaluator) bool {
@@ -128,7 +128,7 @@ func LENWB() sim.Protocol {
 		Name:      "LENWB",
 		Timing:    TimingFirstReceipt,
 		Selection: SelfPruning,
-		Covered: func(_ *sim.Network, st *sim.NodeState) bool {
+		Covered: func(_ sim.Runtime, st *sim.NodeState) bool {
 			return core.LENWBCovered(st.View, st.FirstFrom)
 		},
 		CoveredEval: func(st *sim.NodeState, _ *core.Evaluator) bool {

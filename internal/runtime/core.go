@@ -1,0 +1,268 @@
+package runtime
+
+import (
+	"fmt"
+	"math/rand"
+
+	"adhocbcast/internal/core"
+	"adhocbcast/internal/graph"
+	"adhocbcast/internal/sim"
+	"adhocbcast/internal/view"
+)
+
+// Transport is everything a node Core needs from its executor: send packets
+// and recovery traffic, schedule callbacks on the node's own execution
+// context, and account protocol events. The in-process Cluster implements it
+// with channel radios and real timers; cmd/bcastnode implements it over
+// stdin/stdout or UDP. All methods are called from the node's own execution
+// context (its goroutine / handler loop) only.
+type Transport interface {
+	// Broadcast radios pkt to all true neighbors and records the forward.
+	Broadcast(pkt sim.Packet)
+	// Unicast sends one recovery retransmission copy to a single neighbor.
+	Unicast(to int, pkt sim.Packet, attempt int)
+	// NACK sends a recovery request for retransmission `attempt` to a
+	// neighbor over the (reliable, but down-node-dropping) control channel.
+	NACK(to int, attempt int)
+	// AfterTimer schedules fn as a protocol decision timer after d time
+	// units on the node's execution context. A timer whose node is down
+	// when it fires is cancelled (and counted), mirroring the simulator.
+	AfterTimer(d float64, fn func())
+	// AfterRecovery schedules fn as recovery-layer bookkeeping after d time
+	// units on the node's execution context; it is silently skipped if the
+	// node is down when it fires.
+	AfterRecovery(d float64, fn func())
+	// Down reports whether the local node is down right now under the
+	// fault plan.
+	Down() bool
+	// Now returns the current time in time units.
+	Now() float64
+	// NoteDeliver accounts one delivered copy (first = first copy at this
+	// node).
+	NoteDeliver(first bool, at float64)
+	// NoteSource accounts the source holding the packet from the start: a
+	// latency-0 first delivery that is not a packet copy.
+	NoteSource()
+	// NoteNACK accounts one recovery request issued by this node.
+	NoteNACK()
+	// NoteNonForward accounts this node finalizing non-forward status.
+	NoteNonForward()
+}
+
+// CoreConfig carries the per-node slice of Config a Core needs.
+type CoreConfig struct {
+	N                    int
+	PiggybackDepth       int
+	BackoffWindow        float64
+	TransmitDelay        float64
+	NACKRecovery         bool
+	RetryBudget          int
+	NACKDelay            float64
+	RetryBackoff         float64
+	JitterFrac           float64
+	ConservativeFallback bool
+	ViewIncomplete       func(v int) bool
+}
+
+// Core is one live node: it implements sim.Runtime scoped to a single node
+// id, hosts that node's protocol instance and bookkeeping state, and drives
+// all I/O through a Transport. Every method must be called from the node's
+// own execution context; the Core itself is free of locks because the
+// Transport serializes all entry points (packets, timers, recovery) onto
+// that context.
+type Core struct {
+	id      int
+	cfg     CoreConfig
+	proto   sim.Protocol
+	st      *sim.NodeState
+	viewG   *graph.Graph
+	out     Transport
+	backoff *rand.Rand
+	eval    *core.Evaluator
+}
+
+// NewCore builds the live runtime core of node id. lv is the node's local
+// view (freshly built or status-reset), viewG the topology it was built
+// from, and backoffSeed the seed of the node's private backoff stream.
+func NewCore(id int, proto sim.Protocol, lv *view.Local, viewG *graph.Graph,
+	cfg CoreConfig, out Transport, backoffSeed int64) *Core {
+	return &Core{
+		id:    id,
+		cfg:   cfg,
+		proto: proto,
+		st: &sim.NodeState{
+			ID:        id,
+			View:      lv,
+			FirstFrom: -1,
+		},
+		viewG:   viewG,
+		out:     out,
+		backoff: rand.New(rand.NewSource(backoffSeed)),
+		eval:    core.NewEvaluator(cfg.N),
+	}
+}
+
+// ID returns the node id this core hosts.
+func (c *Core) ID() int { return c.id }
+
+// Init runs the protocol's per-run initialization (static protocols compute
+// their own forward status here). The executor calls it once before any
+// traffic, from any goroutine, as long as no handler runs concurrently.
+func (c *Core) Init() { c.proto.Init(c) }
+
+// Delivered reports whether this node has received the packet.
+func (c *Core) Delivered() bool { return c.st.Received }
+
+// Forwarded reports whether this node has transmitted.
+func (c *Core) Forwarded() bool { return c.st.Sent }
+
+// Start makes this node the broadcast source: it holds the packet from the
+// start (reported as a t=0 self-delivery, as in the simulator) and runs the
+// protocol's source handling.
+func (c *Core) Start() {
+	c.st.Received = true
+	c.st.FirstPacket = sim.Packet{Source: c.id}
+	c.st.LastPacket = c.st.FirstPacket
+	c.out.NoteSource()
+	c.proto.Start(c, c.id)
+}
+
+// HandlePacket delivers one packet copy: shared bookkeeping (receipt record,
+// view merge) followed by the protocol's OnReceive, in the simulator's
+// order.
+func (c *Core) HandlePacket(from int, pkt sim.Packet, at float64) {
+	r := sim.Receipt{From: from, At: at, Packet: pkt}
+	first := c.st.RecordReceipt(r)
+	c.out.NoteDeliver(first, at)
+	sim.MergeReceipt(c.st, c.id, r)
+	c.proto.OnReceive(c, c.id, r)
+}
+
+// HandleGarble reacts to a detectable drop: the node overheard a copy
+// (original transmission attempt 0, or recovery retransmission attempt k)
+// it could not decode. With recovery enabled and the packet still missing it
+// NACKs the sender for the next attempt, and — beyond the simulator —
+// schedules a re-request for the case where the granted retransmission
+// itself vanishes silently (sender down, copy dropped at a down link with
+// silent drops): the recovery chain is receiver-driven, so it survives a
+// sender that is down when the request arrives.
+func (c *Core) HandleGarble(from int, attempt int) {
+	if !c.cfg.NACKRecovery || c.st.Received {
+		return
+	}
+	next := attempt + 1
+	if next > c.cfg.RetryBudget {
+		return
+	}
+	c.out.NoteNACK()
+	c.out.AfterRecovery(c.cfg.NACKDelay, func() {
+		if !c.st.Received {
+			c.out.NACK(from, next)
+		}
+	})
+	// Expected round trip of the granted retransmission: request transit,
+	// sender backoff, copy transit with jitter, plus one transmit delay of
+	// slack for scheduling noise.
+	wait := c.cfg.NACKDelay + sim.RetryBackoffDelay(c.cfg.RetryBackoff, next) +
+		c.cfg.TransmitDelay*(2+c.cfg.JitterFrac)
+	c.out.AfterRecovery(wait, func() {
+		if !c.st.Received {
+			c.HandleGarble(from, next)
+		}
+	})
+}
+
+// HandleNACK processes a recovery request arriving at this node (the
+// original sender): the retransmission is scheduled after the simulator's
+// bounded exponential backoff. A node that never transmitted has nothing to
+// retransmit.
+func (c *Core) HandleNACK(peer int, attempt int) {
+	if !c.st.Sent {
+		return
+	}
+	delay := sim.RetryBackoffDelay(c.cfg.RetryBackoff, attempt)
+	c.out.AfterRecovery(delay, func() {
+		c.out.Unicast(peer, c.st.SentPacket(), attempt)
+	})
+}
+
+// --- sim.Runtime ---
+
+var _ sim.Runtime = (*Core)(nil)
+
+// N returns the network size.
+func (c *Core) N() int { return c.cfg.N }
+
+// ForEachLocalNode implements sim.Runtime: a live runtime hosts exactly one
+// node.
+func (c *Core) ForEachLocalNode(yield func(v int)) { yield(c.id) }
+
+// State returns this node's state. Asking a live runtime for another node's
+// state is a protocol bug — it would violate the locality property the
+// paper's distributed scheme is built on — and panics loudly.
+func (c *Core) State(v int) *sim.NodeState {
+	if v != c.id {
+		panic(fmt.Sprintf("runtime: node %d asked for state of node %d (protocol violates locality)", c.id, v))
+	}
+	return c.st
+}
+
+// SetTimer schedules an OnTimer callback after delay time units.
+func (c *Core) SetTimer(v int, delay float64) {
+	c.out.AfterTimer(delay, func() { c.proto.OnTimer(c, c.id) })
+}
+
+// MarkNonForward finalizes a non-forward decision.
+func (c *Core) MarkNonForward(v int) {
+	if !c.st.NonForward {
+		c.out.NoteNonForward()
+	}
+	c.st.NonForward = true
+}
+
+// Transmit forwards the broadcast packet with the given designated set.
+func (c *Core) Transmit(v int, designated []int) {
+	c.TransmitExtra(v, designated, nil)
+}
+
+// TransmitExtra is Transmit with an extra payload. As in the simulator a
+// node transmits at most once and a down node stays silent.
+func (c *Core) TransmitExtra(v int, designated, extra []int) {
+	if c.st.Sent || c.out.Down() {
+		return
+	}
+	c.st.Sent = true
+	c.st.View.MarkVisited(c.id)
+	pkt := c.st.BuildForwardPacket(designated, extra, c.cfg.PiggybackDepth)
+	c.out.Broadcast(pkt)
+}
+
+// RandomBackoff draws from this node's private backoff stream.
+func (c *Core) RandomBackoff() float64 {
+	return c.backoff.Float64() * c.cfg.BackoffWindow
+}
+
+// DegreeBackoff returns the FRBD backoff, computed from the node's view
+// topology exactly as the simulator does.
+func (c *Core) DegreeBackoff(v int) float64 {
+	d := c.viewG.Degree(c.id)
+	if d == 0 {
+		return c.cfg.BackoffWindow
+	}
+	return c.cfg.BackoffWindow * c.viewG.AverageDegree() / float64(d)
+}
+
+// ConservativeHold reports whether this node must refuse non-forward status.
+func (c *Core) ConservativeHold(v int) bool {
+	return c.cfg.ConservativeFallback && c.cfg.ViewIncomplete(c.id)
+}
+
+// TakePreparedCovered implements sim.Runtime: live runtimes never precompute
+// coverage verdicts.
+func (c *Core) TakePreparedCovered(v int) (covered, ok bool) { return false, false }
+
+// Evaluator returns this node's private coverage evaluator.
+func (c *Core) Evaluator() *core.Evaluator { return c.eval }
+
+// Now returns the current time in time units.
+func (c *Core) Now() float64 { return c.out.Now() }

@@ -1,0 +1,222 @@
+// Package runtime is the live executor: it runs the same protocol
+// implementations the discrete-event simulator runs (internal/sim, via the
+// sim.Runtime interface), but as a real concurrent system — every node is a
+// goroutine with its own per-node runtime, packets travel over channel "radio"
+// links after real wall-clock delays, and decision timers are real timers.
+// Nothing is globally ordered: deliveries race, timers interleave, and the
+// race detector watches every run.
+//
+// A seed-deterministic nemesis layer mirrors the simulator's unreliable-MAC
+// and fault models: per-copy drop and duplication, per-copy delivery jitter
+// (which reorders copies), and an internal/fault plan for link partitions and
+// node churn/crash evaluated against the live clock. The NACK retry/backoff
+// recovery layer runs live, extended with receiver-driven re-requests so a
+// recovery chain survives a sender that is temporarily down — the property
+// the soak harness (internal/runtime/soak) verifies under partition + churn.
+//
+// Time is measured in the simulator's units: Config.TimeScale fixes the
+// wall-clock duration of one unit, and all Config delays (TransmitDelay,
+// BackoffWindow, fault-plan intervals, ...) are in units, so one
+// configuration describes both a simulated and a live run.
+package runtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"time"
+
+	"adhocbcast/internal/obsv"
+	"adhocbcast/internal/sim"
+	"adhocbcast/internal/view"
+)
+
+// Nemesis configures the adversarial message layer of a live run. The zero
+// value is a perfectly reliable network (modulo the fault plan passed to
+// Broadcast).
+type Nemesis struct {
+	// DropRate is an independent per-copy drop probability in [0, 1),
+	// mirroring sim.Config.LossRate. With NACK recovery enabled a dropped
+	// copy leaves a detectable garble at the receiver (it overheard a frame
+	// it could not decode), exactly as in the simulator.
+	DropRate float64
+	// DupRate is an independent per-copy duplication probability in [0, 1):
+	// the receiver gets a second copy after an extra delay, exercising
+	// duplicate suppression under reordering.
+	DupRate float64
+	// JitterFrac adds a uniform extra delivery delay in
+	// [0, JitterFrac*TransmitDelay) per copy. Unlike the simulator's
+	// TxJitter (one draw per transmission), live jitter is per copy, so
+	// copies of one transmission arrive at different times and may reorder
+	// against other traffic.
+	JitterFrac float64
+	// DetectablePartitions makes a copy dropped by a down *link* leave a
+	// detectable garble at the receiver (carrier sensed, frame undecodable),
+	// so the NACK recovery layer can repair partition-era losses once the
+	// link heals. The simulator treats link drops as silent; the soak
+	// harness's 100%-delivery invariant needs them detectable. Copies
+	// dropped because the *receiver* is down are always silent (its radio
+	// is off).
+	DetectablePartitions bool
+}
+
+func (nm Nemesis) validate() error {
+	if nm.DropRate < 0 || nm.DropRate >= 1 || math.IsNaN(nm.DropRate) {
+		return fmt.Errorf("runtime: Nemesis.DropRate %v outside [0,1)", nm.DropRate)
+	}
+	if nm.DupRate < 0 || nm.DupRate >= 1 || math.IsNaN(nm.DupRate) {
+		return fmt.Errorf("runtime: Nemesis.DupRate %v outside [0,1)", nm.DupRate)
+	}
+	if nm.JitterFrac < 0 || math.IsNaN(nm.JitterFrac) {
+		return fmt.Errorf("runtime: negative Nemesis.JitterFrac %v", nm.JitterFrac)
+	}
+	return nil
+}
+
+// Config holds the parameters of a live cluster. The protocol and view
+// parameters deliberately mirror sim.Config so one experiment description
+// drives both executors.
+type Config struct {
+	// Protocol builds one protocol instance. The live executor calls it once
+	// per node per broadcast — each node runs its own instance, which the
+	// sim.Runtime locality contract makes equivalent to the simulator
+	// driving a single instance for the whole network.
+	Protocol func() sim.Protocol
+	// Hops is the k of the k-hop local views; 0 or negative selects the
+	// global view.
+	Hops int
+	// Metric selects the priority metric (default view.MetricID).
+	Metric view.Metric
+	// PiggybackDepth is h, the packet trail depth. Default 2; negative
+	// disables piggybacking.
+	PiggybackDepth int
+	// BackoffWindow is the maximum backoff delay in time units (default 8).
+	BackoffWindow float64
+	// TransmitDelay is the nominal propagation delay of a copy in time
+	// units (default 1).
+	TransmitDelay float64
+	// TimeScale is the wall-clock duration of one time unit (default 2ms).
+	// Smaller scales run faster but leave less slack for goroutine
+	// scheduling noise relative to protocol timing.
+	TimeScale time.Duration
+	// Seed drives every random stream of the cluster: per-directed-link
+	// nemesis draws and per-node backoff draws, all derived per broadcast,
+	// per purpose. The same seed and topology give the same nemesis
+	// schedule (modulo goroutine interleaving of the deliveries it acts on).
+	Seed int64
+	// Nemesis is the adversarial message layer.
+	Nemesis Nemesis
+
+	// NACKRecovery enables the live recovery layer: receivers NACK
+	// detectable drops, senders retransmit unicast with the simulator's
+	// bounded exponential backoff, and — beyond the simulator — receivers
+	// re-request when an expected retransmission never arrives, so a chain
+	// survives a temporarily down sender. RetryBudget, NACKDelay and
+	// RetryBackoff have the simulator's defaults (3, 0.5, 1).
+	NACKRecovery bool
+	// RetryBudget caps recovery retransmissions per (sender, receiver) link.
+	RetryBudget int
+	// NACKDelay is the detection-plus-control-transit delay of a request.
+	NACKDelay float64
+	// RetryBackoff is the base retry delay of the exponential backoff.
+	RetryBackoff float64
+
+	// NodeViews, when non-nil, gives every node a private view topology
+	// (see sim.Config.NodeViews). Nil means views match the actual graph.
+	NodeViews sim.ViewProvider
+	// ViewIncomplete reports whether node v can prove its view incomplete
+	// (see sim.Config.ViewIncomplete). Called from node goroutines: must be
+	// safe for concurrent use.
+	ViewIncomplete func(v int) bool
+	// ConservativeFallback makes provably incomplete nodes refuse
+	// non-forward status (requires ViewIncomplete).
+	ConservativeFallback bool
+
+	// Deadline aborts a broadcast that has not quiesced after this many
+	// time units (default 1000) — a live run has no event queue to drain,
+	// so a lost wakeup would otherwise hang forever.
+	Deadline float64
+	// Metrics, when non-nil, is populated with each broadcast's counters and
+	// histograms exactly like sim.Config.Metrics (Reset at broadcast start).
+	Metrics *obsv.RunRecord
+}
+
+func (c Config) withDefaults() Config {
+	if c.Metric == 0 {
+		c.Metric = view.MetricID
+	}
+	if c.PiggybackDepth == 0 {
+		c.PiggybackDepth = 2
+	}
+	if c.PiggybackDepth < 0 {
+		c.PiggybackDepth = 0
+	}
+	if c.BackoffWindow <= 0 {
+		c.BackoffWindow = 8
+	}
+	if c.TransmitDelay <= 0 {
+		c.TransmitDelay = 1
+	}
+	if c.TimeScale <= 0 {
+		c.TimeScale = 2 * time.Millisecond
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = 3
+	}
+	if c.NACKDelay == 0 {
+		c.NACKDelay = 0.5
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 1
+	}
+	if c.Deadline <= 0 {
+		c.Deadline = 1000
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Protocol == nil {
+		return fmt.Errorf("runtime: Config.Protocol factory is nil")
+	}
+	if err := c.Nemesis.validate(); err != nil {
+		return err
+	}
+	if c.RetryBudget < 0 {
+		return fmt.Errorf("runtime: negative RetryBudget %d", c.RetryBudget)
+	}
+	if c.NACKDelay < 0 || math.IsNaN(c.NACKDelay) {
+		return fmt.Errorf("runtime: negative NACKDelay %v", c.NACKDelay)
+	}
+	if c.RetryBackoff < 0 || math.IsNaN(c.RetryBackoff) {
+		return fmt.Errorf("runtime: negative RetryBackoff %v", c.RetryBackoff)
+	}
+	if c.ConservativeFallback && c.ViewIncomplete == nil {
+		return fmt.Errorf("runtime: ConservativeFallback requires ViewIncomplete")
+	}
+	return nil
+}
+
+// streamSeed derives an independent RNG stream seed from the cluster seed, a
+// purpose label, and integer qualifiers (broadcast index, node ids). It is
+// the live analog of the simulator's per-purpose stream derivation.
+// StreamSeed is streamSeed for Transport implementations outside this
+// package (cmd/bcastnode) that need the same per-purpose deterministic
+// stream derivation for their nodes' private RNGs.
+func StreamSeed(seed int64, purpose string, parts ...int) int64 {
+	return streamSeed(seed, purpose, parts...)
+}
+
+func streamSeed(seed int64, purpose string, parts ...int) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	h.Write(buf[:])
+	h.Write([]byte(purpose))
+	for _, p := range parts {
+		binary.LittleEndian.PutUint64(buf[:], uint64(p))
+		h.Write(buf[:])
+	}
+	return int64(h.Sum64() & (1<<62 - 1))
+}

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -337,6 +338,90 @@ func TestNACKRecoveryExhaustsBudget(t *testing.T) {
 	}
 	if res.Copies != 4 || res.Lost != 4 {
 		t.Fatalf("copies = %d, lost = %d, want 4 and 4", res.Copies, res.Lost)
+	}
+	assertConserved(t, res)
+}
+
+// TestCrashMidNACKRetryCancelsRetransmit: the receiver's NACK reaches the
+// sender, the retransmission backoff is pending — and then the sender
+// crashes. The scheduled retransmission must be cancelled at dispatch, not
+// sent by a dead node. The second case crashes the sender before the NACK
+// even arrives, exercising the down check on the request itself.
+func TestCrashMidNACKRetryCancelsRetransmit(t *testing.T) {
+	g := pathGraph(t, 2)
+	// Timeline with LossRate ~1: copy 0->1 lost at t=1, NACK arrives at the
+	// sender at t=1.5, retransmission fires at t=1.5+RetryBackoff=5.5.
+	for _, tc := range []struct {
+		name    string
+		crashAt float64
+	}{
+		{"mid retry window", 3},      // after the NACK, before the retransmit
+		{"before NACK arrives", 1.2}, // the request itself finds a dead sender
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plan := fault.NewEmptyPlan(2)
+			plan.AddNodeDown(0, fault.Interval{From: tc.crashAt, To: fault.Forever})
+			res, err := sim.Run(g, 0, protocol.Flooding(), sim.Config{
+				Seed:         1,
+				LossRate:     0.999999,
+				NACKRecovery: true,
+				RetryBudget:  3,
+				RetryBackoff: 4,
+				Faults:       plan,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.NACKs != 1 {
+				t.Fatalf("NACKs = %d, want 1 (the original loss was detected)", res.NACKs)
+			}
+			if res.Retransmits != 0 {
+				t.Fatalf("retransmits = %d, want 0: crashed sender retransmitted", res.Retransmits)
+			}
+			if res.Copies != 1 || res.Lost != 1 {
+				t.Fatalf("copies = %d, lost = %d, want 1 and 1", res.Copies, res.Lost)
+			}
+			assertConserved(t, res)
+		})
+	}
+}
+
+// TestRetryBackoffBounded pins the exponential-backoff cap: a huge retry
+// budget must neither overflow the per-attempt delay to +Inf (which would
+// wedge the event queue at an infinite timestamp) nor stall the run.
+func TestRetryBackoffBounded(t *testing.T) {
+	// The exported helper (shared with the live executor) saturates at
+	// base * 2^12 for any larger attempt.
+	cap12 := sim.RetryBackoffDelay(0.5, 13)
+	if want := 0.5 * 4096; cap12 != want {
+		t.Fatalf("RetryBackoffDelay(0.5, 13) = %v, want %v", cap12, want)
+	}
+	for _, attempt := range []int{14, 1000, 1 << 30} {
+		d := sim.RetryBackoffDelay(0.5, attempt)
+		if math.IsInf(d, 1) || math.IsNaN(d) || d != cap12 {
+			t.Fatalf("RetryBackoffDelay(0.5, %d) = %v, want capped %v", attempt, d, cap12)
+		}
+	}
+	// End to end: a budget past the overflow point (Ldexp(base, ~1080)
+	// would be +Inf) exhausts cleanly with a finite schedule. The small
+	// base keeps the capped virtual finish time — and hence the event
+	// queue walk — short.
+	g := pathGraph(t, 2)
+	res, err := sim.Run(g, 0, protocol.Flooding(), sim.Config{
+		Seed:         1,
+		LossRate:     0.999999,
+		NACKRecovery: true,
+		RetryBudget:  1200,
+		RetryBackoff: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(res.Finish, 1) || math.IsNaN(res.Finish) {
+		t.Fatalf("finish time %v not finite", res.Finish)
+	}
+	if res.Retransmits != 1200 {
+		t.Fatalf("retransmits = %d, want the whole 1200 budget", res.Retransmits)
 	}
 	assertConserved(t, res)
 }

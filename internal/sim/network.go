@@ -11,24 +11,28 @@ import (
 	"adhocbcast/internal/view"
 )
 
-// Protocol is a broadcast protocol plugged into the simulator. One Protocol
-// value serves a single run; stateful protocols keep per-run state in the
-// node states' Data slots or in themselves.
+// Protocol is a broadcast protocol plugged into an executor. One Protocol
+// value serves a single run on a single Runtime; stateful protocols keep
+// per-run state in the node states' Data slots or in themselves. The
+// simulator drives one instance for the whole network; the live executor
+// (internal/runtime) drives one instance per node, which the Runtime
+// contract's locality property makes equivalent.
 type Protocol interface {
 	// Name returns the protocol's display name.
 	Name() string
-	// Init runs once per simulation after local views are built; static
-	// protocols compute their forward sets here.
-	Init(net *Network)
+	// Init runs once per run after local views are built; static protocols
+	// compute their forward statuses here, iterating the runtime's local
+	// nodes (Runtime.ForEachLocalNode).
+	Init(rt Runtime)
 	// Start handles the broadcast source at time 0. The source always
 	// forwards; protocols that designate forward neighbors select them here.
-	Start(net *Network, source int)
-	// OnReceive handles delivery of one packet copy to node v. The network
+	Start(rt Runtime, source int)
+	// OnReceive handles delivery of one packet copy to node v. The executor
 	// has already recorded the receipt and merged the packet's broadcast
 	// state into v's local view.
-	OnReceive(net *Network, v int, r Receipt)
-	// OnTimer fires a timer previously set with Network.SetTimer.
-	OnTimer(net *Network, v int)
+	OnReceive(rt Runtime, v int, r Receipt)
+	// OnTimer fires a timer previously set with Runtime.SetTimer.
+	OnTimer(rt Runtime, v int)
 }
 
 // NodeState is the simulator-side state of one node.
@@ -462,17 +466,10 @@ func (net *Network) handleReceive(v int, r Receipt, attempt int, merged bool) {
 		net.Cfg.Observer.OnDeliver(v, r.From, net.now)
 	}
 	st := &net.nodes[v]
-	first := !st.Received
+	first := st.RecordReceipt(r)
 	if first && net.Cfg.Metrics != nil {
 		net.Cfg.Metrics.Latency.Observe(net.now)
 	}
-	st.Received = true
-	if first {
-		st.FirstFrom = r.From
-		st.FirstPacket = r.Packet
-	}
-	st.LastPacket = r.Packet
-	st.Receipts = append(st.Receipts, r)
 
 	if !merged {
 		net.mergeReceipt(st, v, r)
@@ -480,26 +477,12 @@ func (net *Network) handleReceive(v int, r Receipt, attempt int, merged bool) {
 	net.protocol.OnReceive(net, v, r)
 }
 
-// mergeReceipt merges a copy's broadcast state into v's local view: the
-// sender is visited (snooped); the trail carries piggybacked visited nodes
-// and their designated forward sets. Merging is monotone (status only ever
-// increases) and touches nothing but v's own state, which is what lets the
-// fast engine apply a node's same-instant merges from a worker goroutine.
+// mergeReceipt merges a copy's broadcast state into v's local view (see the
+// exported MergeReceipt, shared with the live executor). The merge is monotone
+// and touches nothing but v's own state, which is what lets the fast engine
+// apply a node's same-instant merges from a worker goroutine.
 func (net *Network) mergeReceipt(st *NodeState, v int, r Receipt) {
-	st.View.MarkVisited(r.From)
-	for _, entry := range r.Packet.Trail {
-		st.View.MarkVisited(entry.Node)
-		for _, d := range entry.Designated {
-			if d == v {
-				if !st.DesignatedByNode(entry.Node) {
-					st.DesignatedBy = append(st.DesignatedBy, entry.Node)
-				}
-			}
-			// A designated node (including this one) is promoted to the
-			// intermediate 1.5 status of Section 4.2 under this view.
-			st.View.MarkDesignated(d)
-		}
-	}
+	MergeReceipt(st, v, r)
 }
 
 // maybeNACK schedules a recovery request from receiver v to sender `from`
@@ -527,6 +510,23 @@ func (net *Network) maybeNACK(v, from, attempt int) {
 	})
 }
 
+// maxRetryExponent caps the exponential retry backoff at RetryBackoff * 2^12
+// (4096 slots — far beyond any broadcast horizon). Without the cap a large
+// RetryBudget lets Ldexp overflow the delay to +Inf, which would wedge the
+// calendar queue; a recovery attempt thousands of slots out is equivalent to
+// a dead chain anyway, so capping changes nothing observable for sane budgets.
+const maxRetryExponent = 12
+
+// retryBackoffDelay returns the bounded exponential backoff before recovery
+// retransmission k (1-based): base * 2^(k-1), capped at base * 2^maxRetryExponent.
+func retryBackoffDelay(base float64, attempt int) float64 {
+	exp := attempt - 1
+	if exp > maxRetryExponent {
+		exp = maxRetryExponent
+	}
+	return math.Ldexp(base, exp)
+}
+
 // handleNACK processes a recovery request arriving at the original sender:
 // the retransmission is scheduled after an exponential backoff, unless the
 // sender itself is down by now (then the recovery chain dies — there is
@@ -536,7 +536,7 @@ func (net *Network) handleNACK(e *event) {
 	if net.down(u) {
 		return
 	}
-	delay := math.Ldexp(net.Cfg.RetryBackoff, e.attempt-1)
+	delay := retryBackoffDelay(net.Cfg.RetryBackoff, e.attempt)
 	net.seq++
 	net.pushEvent(event{
 		at:      net.now + delay,
@@ -772,20 +772,7 @@ func (net *Network) TransmitExtra(v int, designated, extra []int) {
 		net.Cfg.Metrics.ForwardSet.Observe(float64(len(designated)))
 	}
 
-	trail := st.LastPacket.Trail
-	entry := TrailEntry{Node: v, Designated: append([]int(nil), designated...)}
-	newTrail := make([]TrailEntry, 0, len(trail)+1)
-	newTrail = append(newTrail, trail...)
-	newTrail = append(newTrail, entry)
-	if h := net.Cfg.PiggybackDepth; len(newTrail) > h {
-		newTrail = newTrail[len(newTrail)-h:]
-	}
-	pkt := Packet{
-		Source: st.LastPacket.Source,
-		Trail:  newTrail,
-		Extra:  extra,
-	}
-	st.sentPkt = pkt
+	pkt := st.BuildForwardPacket(designated, extra, net.Cfg.PiggybackDepth)
 	arrive := net.now + net.Cfg.TransmitDelay
 	if net.Cfg.TxJitter > 0 {
 		// One jitter draw per transmission: all neighbors hear the same

@@ -162,26 +162,26 @@ type snoopProbe struct {
 	visited map[int]bool
 }
 
-func (p *snoopProbe) Name() string          { return "probe" }
-func (p *snoopProbe) Init(net *sim.Network) { p.inner.Init(net) }
-func (p *snoopProbe) Start(net *sim.Network, source int) {
-	p.inner.Start(net, source)
+func (p *snoopProbe) Name() string        { return "probe" }
+func (p *snoopProbe) Init(rt sim.Runtime) { p.inner.Init(rt) }
+func (p *snoopProbe) Start(rt sim.Runtime, source int) {
+	p.inner.Start(rt, source)
 }
 
-func (p *snoopProbe) OnReceive(net *sim.Network, v int, r sim.Receipt) {
+func (p *snoopProbe) OnReceive(rt sim.Runtime, v int, r sim.Receipt) {
 	if v == p.probe {
 		p.visited = make(map[int]bool)
-		st := net.State(v)
-		for x := 0; x < net.G.N(); x++ {
+		st := rt.State(v)
+		for x := 0; x < rt.N(); x++ {
 			if st.View.IsVisited(x) {
 				p.visited[x] = true
 			}
 		}
 	}
-	p.inner.OnReceive(net, v, r)
+	p.inner.OnReceive(rt, v, r)
 }
 
-func (p *snoopProbe) OnTimer(net *sim.Network, v int) { p.inner.OnTimer(net, v) }
+func (p *snoopProbe) OnTimer(rt sim.Runtime, v int) { p.inner.OnTimer(rt, v) }
 
 func TestPiggybackTrailReachesViews(t *testing.T) {
 	// Path 0-1-2-3: when node 3 receives the packet from 2, the trail (h=2)
