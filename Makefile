@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race check-docs bench bench-compare bench-full figures table1 sample fuzz fuzz-smoke soak-smoke clean
+.PHONY: all build test test-race check-docs bench bench-compare bench-full figures table1 sample fuzz fuzz-smoke soak-smoke grid grid-smoke clean
 
 all: build test
 
@@ -44,6 +44,24 @@ bench-compare:
 # Every benchmark in the repository, human-readable.
 bench-full:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every committed results_*.txt table from the declarative grid
+# (grid.json): cached points in .gridcache are served content-addressed, only
+# missing ones compute, so an interrupted run resumes where it died. See
+# EXPERIMENTS.md "Running the grid".
+grid:
+	$(GO) run ./cmd/grid
+
+# Two-run grid smoke over a tiny spec: the cold run computes and caches, the
+# warm rerun must be all cache hits (-require-cached proves it) with a
+# byte-identical table, and the sealed store must pass -verify.
+grid-smoke:
+	$(GO) build -o /tmp/gridsmoke-bin ./cmd/grid
+	rm -rf /tmp/gridsmoke && mkdir -p /tmp/gridsmoke/out1 /tmp/gridsmoke/out2
+	/tmp/gridsmoke-bin -spec cmd/grid/testdata/smoke.json -cache /tmp/gridsmoke/cache -out /tmp/gridsmoke/out1
+	/tmp/gridsmoke-bin -spec cmd/grid/testdata/smoke.json -cache /tmp/gridsmoke/cache -out /tmp/gridsmoke/out2 -require-cached
+	cmp /tmp/gridsmoke/out1/smoke.txt /tmp/gridsmoke/out2/smoke.txt
+	/tmp/gridsmoke-bin -spec cmd/grid/testdata/smoke.json -cache /tmp/gridsmoke/cache -out /tmp/gridsmoke/out2 -verify
 
 # Regenerate every evaluation figure (moderate replication).
 figures:

@@ -15,7 +15,9 @@
 // checked against the named committed report, and the run fails (exit 1) when
 // any benchmark matching -match regressed in ns/op by more than -tolerance.
 // Benchmarks absent from the baseline pass trivially, so adding a benchmark
-// never breaks the gate.
+// never breaks the gate; the reverse is an error — a baseline benchmark
+// matching -match with no fresh result on stdin fails the gate, so deleting
+// or renaming a gated benchmark cannot silently retire its check.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -115,9 +118,12 @@ func run() error {
 
 // runCompare gates fresh results against a committed baseline report: every
 // fresh benchmark whose name matches the pattern and appears in the baseline
-// must not exceed the baseline's ns/op by more than the tolerance fraction.
-// Benchmark names carry a -GOMAXPROCS suffix that varies across machines, so
-// names are compared with the suffix stripped.
+// must not exceed the baseline's ns/op by more than the tolerance fraction,
+// and every baseline benchmark matching the pattern must appear on stdin —
+// a gated benchmark that disappears (deleted or renamed) fails the gate
+// instead of passing it vacuously. Benchmark names carry a -GOMAXPROCS
+// suffix that varies across machines, so names are compared with the suffix
+// stripped.
 func runCompare(fresh []Result, baselinePath, pattern string, tolerance float64) error {
 	re, err := regexp.Compile(pattern)
 	if err != nil {
@@ -135,10 +141,12 @@ func runCompare(fresh []Result, baselinePath, pattern string, tolerance float64)
 	for _, r := range baseline.Results {
 		base[trimProcs(r.Name)] = r.NsPerOp
 	}
+	seen := make(map[string]bool, len(fresh))
 	checked := 0
 	var regressions []string
 	for _, r := range fresh {
 		name := trimProcs(r.Name)
+		seen[name] = true
 		if !re.MatchString(name) {
 			continue
 		}
@@ -153,12 +161,23 @@ func runCompare(fresh []Result, baselinePath, pattern string, tolerance float64)
 				name, r.NsPerOp, want, 100*(r.NsPerOp/want-1), 100*tolerance))
 		}
 	}
-	if checked == 0 {
-		return fmt.Errorf("no stdin benchmark matching %q has a baseline in %s", pattern, baselinePath)
-	}
 	if len(regressions) > 0 {
 		return fmt.Errorf("ns/op regressions vs %s:\n  %s",
 			baselinePath, strings.Join(regressions, "\n  "))
+	}
+	var missing []string
+	for name := range base {
+		if re.MatchString(name) && !seen[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return fmt.Errorf("baseline benchmark(s) matching %q missing from stdin (deleted or renamed? update %s): %s",
+			pattern, baselinePath, strings.Join(missing, ", "))
+	}
+	if checked == 0 {
+		return fmt.Errorf("no stdin benchmark matching %q has a baseline in %s", pattern, baselinePath)
 	}
 	fmt.Printf("benchjson: %d benchmark(s) within %.0f%% of %s\n", checked, 100*tolerance, baselinePath)
 	return nil

@@ -80,6 +80,28 @@ func TestRunCompare(t *testing.T) {
 	if err := runCompare(within, path, "NoSuchBenchmark", 0.25); err == nil {
 		t.Fatal("empty comparison set passed the gate (pattern typo would go unnoticed)")
 	}
+
+	// A gated baseline benchmark absent from stdin must fail the gate:
+	// deleting or renaming a benchmark cannot silently retire its check.
+	missingFR := []Result{
+		{Name: "BenchmarkFigure10Timing/Static-8", NsPerOp: 1000},
+	}
+	err = runCompare(missingFR, path, "Figure10Timing", 0.25)
+	if err == nil {
+		t.Fatal("baseline benchmark missing from stdin passed the gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkFigure10Timing/FR") || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("missing-benchmark error does not name the benchmark: %v", err)
+	}
+	// The renamed survivor must be reported too, not just absorbed.
+	renamed := []Result{
+		{Name: "BenchmarkFigure10Timing/StaticV2-8", NsPerOp: 1},
+		{Name: "BenchmarkFigure10Timing/FR-8", NsPerOp: 1900},
+	}
+	err = runCompare(renamed, path, "Figure10Timing", 0.25)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkFigure10Timing/Static") {
+		t.Fatalf("renamed benchmark not reported as missing: %v", err)
+	}
 }
 
 func TestParseLineRejectsNonBench(t *testing.T) {

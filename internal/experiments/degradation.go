@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 
 	"adhocbcast/internal/fault"
@@ -46,9 +45,7 @@ func degradeVariants() []degradeVariant {
 // cell. The variant is deliberately excluded: every curve of a figure sees
 // the same networks, sources, and fault plans (common random numbers).
 func degradeSeed(base int64, n, d, rep, permille int) int64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "degrade|%d|%d|%d|%d|%d", base, n, d, rep, permille)
-	return int64(h.Sum64() & (1<<62 - 1))
+	return deriveSeed("degrade", base, n, d, rep, permille)
 }
 
 // CrashDegradation sweeps the crash fraction: X is the percentage of nodes
@@ -129,10 +126,7 @@ func crashSweep(rc RunConfig, id, title, unit string, metric func(sim.Result) fl
 					}
 					return metric(res), nil
 				})
-				if cerr := sink.close(); err == nil && cerr != nil {
-					err = cerr
-				}
-				if err != nil {
+				if err = sink.finish(err); err != nil {
 					return Figure{}, fmt.Errorf("%s %s crash %d%%: %w", id, v.label, pct, err)
 				}
 				s.Points = append(s.Points, Point{X: pct, Mean: sum.Mean, CI: sum.HalfWidth90, Runs: sum.N})
@@ -189,10 +183,7 @@ func LossDegradation(rc RunConfig) (Figure, error) {
 					}
 					return 100 * res.DeliveryRatio(), nil
 				})
-				if cerr := sink.close(); err == nil && cerr != nil {
-					err = cerr
-				}
-				if err != nil {
+				if err = sink.finish(err); err != nil {
 					return Figure{}, fmt.Errorf("D3 %s loss %d%%: %w", v.label, pct, err)
 				}
 				s.Points = append(s.Points, Point{X: pct, Mean: sum.Mean, CI: sum.HalfWidth90, Runs: sum.N})

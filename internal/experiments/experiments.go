@@ -8,7 +8,6 @@ package experiments
 
 import (
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 
@@ -63,6 +62,16 @@ type RunConfig struct {
 	// label. Points are measured concurrently, so the callback must be safe
 	// for concurrent use. It never affects measured results.
 	Progress func(point string, u stats.ProgressUpdate)
+	// Runner, when non-nil, intercepts every data point's replication loop:
+	// it receives the point label and a compute closure that runs the loop,
+	// and returns the point's summary — either by calling compute or by
+	// substituting a previously computed result. This is the hook
+	// internal/grid uses to cache points content-addressed by their
+	// configuration: a cache hit skips compute entirely, a miss runs it and
+	// stores the summary. Points are measured concurrently, so the hook must
+	// be safe for concurrent calls. A hook that always calls compute is
+	// behavior-identical to no hook.
+	Runner func(point string, compute func() (stats.Summary, error)) (stats.Summary, error)
 }
 
 func (c RunConfig) withDefaults() RunConfig {
@@ -107,14 +116,20 @@ func (c RunConfig) withDefaults() RunConfig {
 // bit-identical summaries (and progress sequences) for the same sample
 // function. point names the data point in progress updates and trace files.
 func (c RunConfig) replicate(point string, sample func(i int) (float64, error)) (stats.Summary, error) {
-	opts := c.Replicate
-	if c.Progress != nil {
-		opts.Progress = func(u stats.ProgressUpdate) { c.Progress(point, u) }
+	compute := func() (stats.Summary, error) {
+		opts := c.Replicate
+		if c.Progress != nil {
+			opts.Progress = func(u stats.ProgressUpdate) { c.Progress(point, u) }
+		}
+		if c.ReplicateParallelism > 1 {
+			return stats.RunUntilCIParallel(opts, c.ReplicateParallelism, sample)
+		}
+		return stats.RunUntilCI(opts, sample)
 	}
-	if c.ReplicateParallelism > 1 {
-		return stats.RunUntilCIParallel(opts, c.ReplicateParallelism, sample)
+	if c.Runner != nil {
+		return c.Runner(point, compute)
 	}
-	return stats.RunUntilCI(opts, sample)
+	return compute()
 }
 
 // Paper returns the paper's replication criterion: repeat until the 90%
@@ -210,18 +225,13 @@ func measure(rc RunConfig, prefix string, n, d int, v variant) (stats.Summary, e
 		}
 		return float64(res.ForwardCount()), nil
 	})
-	if cerr := sink.close(); err == nil && cerr != nil {
-		err = cerr
-	}
-	return sum, err
+	return sum, sink.finish(err)
 }
 
 // workloadSeed derives a deterministic seed from the experiment inputs.
 // The variant label is deliberately excluded so all series share workloads.
 func workloadSeed(base int64, n, d, rep int) int64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%d|%d|%d", base, n, d, rep)
-	return int64(h.Sum64() & (1<<62 - 1))
+	return deriveSeed("", base, n, d, rep)
 }
 
 // sweep builds one panel from the given variants, measuring the (variant,

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"adhocbcast/internal/cds"
 	"adhocbcast/internal/cluster"
@@ -345,10 +344,7 @@ func Latency(rc RunConfig) (Figure, error) {
 					}
 					return rec.MeanDeliveryLatency(), nil
 				})
-				if cerr := sink.close(); err == nil && cerr != nil {
-					err = cerr
-				}
-				if err != nil {
+				if err = sink.finish(err); err != nil {
 					return Figure{}, fmt.Errorf("latency %s n=%d: %w", timing, n, err)
 				}
 				s.Points = append(s.Points, Point{X: n, Mean: sum.Mean, CI: sum.HalfWidth90, Runs: sum.N})
@@ -404,7 +400,5 @@ func AllExtensionIDs() []string {
 // movements) while the step is included, so different sweep points move the
 // shared workload network differently.
 func mobilitySeed(base int64, d, rep, step int) int64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "mobility|%d|%d|%d|%d", base, d, rep, step)
-	return int64(h.Sum64() & (1<<62 - 1))
+	return deriveSeed("mobility", base, d, rep, step)
 }

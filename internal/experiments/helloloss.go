@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 
 	"adhocbcast/internal/hello"
@@ -50,9 +49,7 @@ func helloVariants() []helloVariant {
 // same networks, sources, and hello loss patterns (common random numbers),
 // so with and without fallback differ only in the decisions.
 func helloSeed(base int64, n, d, rep, permille int) int64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "helloloss|%d|%d|%d|%d|%d", base, n, d, rep, permille)
-	return int64(h.Sum64() & (1<<62 - 1))
+	return deriveSeed("helloloss", base, n, d, rep, permille)
 }
 
 // HelloLossDelivery sweeps the hello loss rate: X is the per-receiver
@@ -157,10 +154,7 @@ func helloSweep(rc RunConfig, id, title, unit string, metric func(sim.Result, *s
 					}
 					return metric(res, rec), nil
 				})
-				if cerr := sink.close(); err == nil && cerr != nil {
-					err = cerr
-				}
-				if err != nil {
+				if err = sink.finish(err); err != nil {
 					return Figure{}, fmt.Errorf("%s %s helloloss %d%%: %w", id, v.label, pct, err)
 				}
 				s.Points = append(s.Points, Point{X: pct, Mean: sum.Mean, CI: sum.HalfWidth90, Runs: sum.N})

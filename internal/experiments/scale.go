@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math/rand"
 	"runtime"
 	"strings"
@@ -53,8 +52,15 @@ type ScaleConfig struct {
 	Hops int
 	// Emit, when non-nil, receives each completed row as soon as its point
 	// finishes, in (size, variant) order — the streaming hook the CLI uses
-	// to print results while later, larger points are still running.
+	// to print results while later, larger points are still running. Emit
+	// fires for cached rows too when a Runner substitutes stored results.
 	Emit func(ScaleRow)
+	// Runner, when non-nil, intercepts each size point's computation: it
+	// receives the point label and a compute closure that measures the
+	// point's variant rows, and returns those rows — either by calling
+	// compute or by substituting previously computed ones. This is the hook
+	// internal/grid uses to cache scale points; see RunConfig.Runner.
+	Runner func(point string, compute func() ([]ScaleRow, error)) ([]ScaleRow, error)
 }
 
 func (c ScaleConfig) withDefaults() ScaleConfig {
@@ -126,9 +132,7 @@ func scaleVariants() []struct {
 // Variants are excluded: every variant of a replicate sees the same network
 // and source (common random numbers), exactly like the figure sweeps.
 func scaleSeed(base int64, n, d, rep int) int64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "scale|%d|%d|%d|%d", base, n, d, rep)
-	return int64(h.Sum64() & (1<<62 - 1))
+	return deriveSeed("scale", base, n, d, rep)
 }
 
 // scaleSample is the per-(replicate, variant) measurement tuple.
@@ -144,68 +148,90 @@ type scaleSample struct {
 // time.
 func Scale(cfg ScaleConfig) ([]ScaleRow, error) {
 	cfg = cfg.withDefaults()
-	variants := scaleVariants()
 	var rows []ScaleRow
 	for _, n := range cfg.Sizes {
 		nreps := cfg.repsFor(n)
-		samples := make([][]scaleSample, nreps)
-		errs := make([]error, nreps)
-		workers := cfg.Parallelism
-		if workers > nreps {
-			workers = nreps
+		point := fmt.Sprintf("scale/n=%d/d=%d/reps=%d", n, cfg.Degree, nreps)
+		compute := func() ([]ScaleRow, error) { return scalePoint(cfg, n, nreps) }
+		var pointRows []ScaleRow
+		var err error
+		if cfg.Runner != nil {
+			pointRows, err = cfg.Runner(point, compute)
+		} else {
+			pointRows, err = compute()
 		}
-		reps := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				// One metrics record and one simulator arena per worker:
-				// the hot state (event calendar, flat node states, views,
-				// scratch) is allocated once and reused by every run the
-				// worker executes.
-				record := obsv.NewRunRecord()
-				arena := sim.NewArena()
-				for rep := range reps {
-					samples[rep], errs[rep] = scaleReplicate(cfg, n, rep, record, arena)
-				}
-			}()
+		if err != nil {
+			return nil, err
 		}
-		for rep := 0; rep < nreps; rep++ {
-			reps <- rep
-		}
-		close(reps)
-		wg.Wait()
-
-		for rep, err := range errs {
-			if err != nil {
-				return nil, fmt.Errorf("scale n=%d rep=%d: %w", n, rep, err)
-			}
-		}
-		// Fold in replicate order so the summary is bit-identical for any
-		// worker count.
-		for vi, v := range variants {
-			var del, fwd, lat stats.Accumulator
-			for rep := 0; rep < nreps; rep++ {
-				s := samples[rep][vi]
-				del.Add(s.delivery)
-				fwd.Add(s.forward)
-				lat.Add(s.latency)
-			}
-			ds, fs, ls := del.Summary(), fwd.Summary(), lat.Summary()
-			row := ScaleRow{
-				N:          n,
-				Variant:    v.label,
-				Replicates: nreps,
-				Delivery:   ds.Mean, DeliveryCI: ds.HalfWidth90,
-				Forward: fs.Mean, ForwardCI: fs.HalfWidth90,
-				Latency: ls.Mean, LatencyCI: ls.HalfWidth90,
-			}
+		// Emit outside compute, so streaming consumers see cached rows too.
+		for _, row := range pointRows {
 			rows = append(rows, row)
 			if cfg.Emit != nil {
 				cfg.Emit(row)
 			}
 		}
+	}
+	return rows, nil
+}
+
+// scalePoint measures one size point: nreps replicates on up to Parallelism
+// workers, folded into one row per variant.
+func scalePoint(cfg ScaleConfig, n, nreps int) ([]ScaleRow, error) {
+	variants := scaleVariants()
+	samples := make([][]scaleSample, nreps)
+	errs := make([]error, nreps)
+	workers := cfg.Parallelism
+	if workers > nreps {
+		workers = nreps
+	}
+	reps := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One metrics record and one simulator arena per worker:
+			// the hot state (event calendar, flat node states, views,
+			// scratch) is allocated once and reused by every run the
+			// worker executes.
+			record := obsv.NewRunRecord()
+			arena := sim.NewArena()
+			for rep := range reps {
+				samples[rep], errs[rep] = scaleReplicate(cfg, n, rep, record, arena)
+			}
+		}()
+	}
+	for rep := 0; rep < nreps; rep++ {
+		reps <- rep
+	}
+	close(reps)
+	wg.Wait()
+
+	for rep, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("scale n=%d rep=%d: %w", n, rep, err)
+		}
+	}
+	// Fold in replicate order so the summary is bit-identical for any
+	// worker count.
+	rows := make([]ScaleRow, 0, len(variants))
+	for vi, v := range variants {
+		var del, fwd, lat stats.Accumulator
+		for rep := 0; rep < nreps; rep++ {
+			s := samples[rep][vi]
+			del.Add(s.delivery)
+			fwd.Add(s.forward)
+			lat.Add(s.latency)
+		}
+		ds, fs, ls := del.Summary(), fwd.Summary(), lat.Summary()
+		rows = append(rows, ScaleRow{
+			N:          n,
+			Variant:    v.label,
+			Replicates: nreps,
+			Delivery:   ds.Mean, DeliveryCI: ds.HalfWidth90,
+			Forward: fs.Mean, ForwardCI: fs.HalfWidth90,
+			Latency: ls.Mean, LatencyCI: ls.HalfWidth90,
+		})
 	}
 	return rows, nil
 }

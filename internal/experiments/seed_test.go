@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDeriveSeedFormatsPinned pins the derivation against its pre-refactor
+// per-function format strings: the unified deriveSeed must stay byte-for-byte
+// compatible or every committed results table silently changes.
+func TestDeriveSeedFormatsPinned(t *testing.T) {
+	cases := []struct {
+		got, want int64
+	}{
+		{workloadSeed(42, 60, 6, 7), deriveSeed("", 42, 60, 6, 7)},
+		{scaleSeed(42, 1000, 18, 3), deriveSeed("scale", 42, 1000, 18, 3)},
+		{mobilitySeed(42, 6, 7, 5), deriveSeed("mobility", 42, 6, 7, 5)},
+		{degradeSeed(42, 100, 6, 7, 300), deriveSeed("degrade", 42, 100, 6, 7, 300)},
+		{helloSeed(42, 100, 6, 7, 300), deriveSeed("helloloss", 42, 100, 6, 7, 300)},
+	}
+	for i, c := range cases {
+		if c.got != c.want {
+			t.Fatalf("case %d: named derivation %d != deriveSeed %d", i, c.got, c.want)
+		}
+	}
+	// Golden values, computed with the pre-refactor fnv-based functions.
+	if got := workloadSeed(42, 20, 6, 0); got != 2893612282383257089 {
+		t.Fatalf("workloadSeed(42,20,6,0) = %d, drifted from pre-refactor value", got)
+	}
+	if got := scaleSeed(42, 1000, 18, 0); got != 880875563328068171 {
+		t.Fatalf("scaleSeed(42,1000,18,0) = %d, drifted from pre-refactor value", got)
+	}
+}
+
+// TestDeriveSeedCollisionFree enumerates every seed the full default
+// experiment grid can request — workload cells up to the paper's 2000-run
+// cap, the scale sweep, and the domain-prefixed mobility, degradation,
+// hello-loss, and reliability-jitter derivations — and asserts they are
+// pairwise distinct. The 62-bit mask discards bits, so this is a real
+// property of the chosen format strings, not a tautology; a derivation
+// change that introduces a collision anywhere in the shipped grid fails
+// here.
+func TestDeriveSeedCollisionFree(t *testing.T) {
+	const base = 42
+	const maxReps = 2000 // Paper().MaxRuns, the widest replication cap
+	seen := make(map[int64]string, 200000)
+	add := func(seed int64, format string, args ...any) {
+		cell := fmt.Sprintf(format, args...)
+		if prev, ok := seen[seed]; ok {
+			t.Fatalf("seed collision: %s and %s both derive %d", prev, cell, seed)
+		}
+		seen[seed] = cell
+	}
+
+	degrees := []int{6, 18}
+	permilles := []int{0, 50, 100, 200, 300}
+	for _, d := range degrees {
+		for rep := 0; rep < maxReps; rep++ {
+			// Workload cells: figure sizes 20..100 plus the fixed n=100 the
+			// extension sweeps use (the same cell, registered once).
+			for n := 20; n <= 100; n += 10 {
+				add(workloadSeed(base, n, d, rep), "workload n=%d d=%d rep=%d", n, d, rep)
+			}
+			// Reliability jitter variants perturb the workload seed.
+			for _, j := range []int{1, 2, 4} {
+				seed := workloadSeed(base, 100, d, rep) ^ int64(j<<40)
+				add(seed, "reliability jitter=%d d=%d rep=%d", j, d, rep)
+			}
+			for _, step := range []int{0, 1, 2, 3, 5, 8} {
+				add(mobilitySeed(base, d, rep, step), "mobility d=%d rep=%d step=%d", d, rep, step)
+			}
+			for _, pm := range permilles {
+				add(degradeSeed(base, 100, d, rep, pm), "degrade d=%d rep=%d permille=%d", d, rep, pm)
+				add(helloSeed(base, 100, d, rep, pm), "helloloss d=%d rep=%d permille=%d", d, rep, pm)
+			}
+		}
+	}
+	for _, n := range []int{1000, 5000, 10000, 25000, 100000, 1000000} {
+		for rep := 0; rep < 5; rep++ {
+			add(scaleSeed(base, n, 18, rep), "scale n=%d rep=%d", n, rep)
+		}
+	}
+	if len(seen) < 100000 {
+		t.Fatalf("enumerated only %d cells; the grid enumeration shrank", len(seen))
+	}
+}

@@ -19,12 +19,19 @@ import (
 // (point, rep) key and a single replicate's lines stay contiguous and
 // ordered. A nil *traceSink is a no-op, which is how the drivers stay
 // zero-cost when no trace directory is configured.
+//
+// The sink writes through an obsv.AtomicFile: lines accumulate in a hidden
+// temp file and the final <point>.jsonl appears only when the point's last
+// replicate has flushed and the stream is sealed with a hash-chain record. A
+// sweep killed mid-point therefore leaves at worst a ".tmp-*" file behind —
+// never a truncated export that a later obsv.Read would choke on — and every
+// published file passes obsv.VerifyChain.
 type traceSink struct {
 	point string
 	mu    sync.Mutex
-	f     *os.File
+	f     *obsv.AtomicFile
 	w     *obsv.Writer
-	err   error // first write error; reported once at close
+	err   error // first write error; reported once at finish
 }
 
 // newTraceSink opens the sink for one data point under c.TraceDir, or
@@ -38,7 +45,7 @@ func (c RunConfig) newTraceSink(point string) (*traceSink, error) {
 		return nil, err
 	}
 	name := filepath.Join(c.TraceDir, sanitizePoint(point)+".jsonl")
-	f, err := os.Create(name)
+	f, err := obsv.CreateAtomic(name)
 	if err != nil {
 		return nil, err
 	}
@@ -97,19 +104,30 @@ func (s *traceSink) write(rep int, rr *obsv.RunRecord, events []obsv.TraceEvent)
 	return nil
 }
 
-// close flushes and closes the sink's file, reporting any deferred write
-// error. Safe on a nil sink.
-func (s *traceSink) close() error {
+// finish completes the sink given the point's measurement error: on failure
+// (the measurement's or the sink's own deferred write error) the pending
+// temp file is discarded so no partial export is published; on success the
+// stream is sealed and atomically renamed into place. It returns the first
+// error among the measurement, deferred writes, and publication. Safe on a
+// nil sink.
+func (s *traceSink) finish(err error) error {
 	if s == nil {
-		return nil
+		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cerr := s.f.Close()
-	if s.err != nil {
-		return fmt.Errorf("experiments: trace %s: %w", s.point, s.err)
+	if err == nil && s.err != nil {
+		err = fmt.Errorf("experiments: trace %s: %w", s.point, s.err)
 	}
-	if cerr != nil {
+	if err != nil {
+		s.f.Abort()
+		return err
+	}
+	if serr := s.w.Seal(); serr != nil {
+		s.f.Abort()
+		return fmt.Errorf("experiments: trace %s: %w", s.point, serr)
+	}
+	if cerr := s.f.Commit(); cerr != nil {
 		return fmt.Errorf("experiments: trace %s: %w", s.point, cerr)
 	}
 	return nil

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adhocbcast/internal/obsv"
+	"adhocbcast/internal/stats"
+)
+
+// globTraces returns the final (committed) trace files and the pending temp
+// files under dir.
+func globTraces(t *testing.T, dir string) (finals, temps []string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		switch {
+		case strings.HasPrefix(e.Name(), ".tmp-"):
+			temps = append(temps, e.Name())
+		case strings.HasSuffix(e.Name(), ".jsonl"):
+			finals = append(finals, e.Name())
+		}
+	}
+	return finals, temps
+}
+
+// TestTraceExportAtomicMidPoint pins the atomicity contract of the trace
+// export: while a point is mid-measurement its lines live only in a hidden
+// temp file (so a kill at any moment leaves no partial final file), a point
+// that errors publishes nothing and cleans its temp up, and a point that
+// completes publishes a sealed file that passes chain verification.
+func TestTraceExportAtomicMidPoint(t *testing.T) {
+	rc := tinyConfig()
+	rc.Sizes = []int{20}
+	rc.Parallelism = 1 // one point in flight: mid-point assertions are exact
+	rc.TraceDir = t.TempDir()
+	var midFinals int
+	points := 0
+	rc.Runner = func(point string, compute func() (stats.Summary, error)) (stats.Summary, error) {
+		sum, err := compute()
+		// All of the point's replicates have flushed, but finish has not
+		// run: the final file must not exist yet, only its temp.
+		finals, temps := globTraces(t, rc.TraceDir)
+		midFinals += len(finals) - points
+		if len(temps) == 0 {
+			t.Errorf("%s: no pending temp file mid-point", point)
+		}
+		points++
+		return sum, err
+	}
+	if _, err := Figure10(rc); err != nil {
+		t.Fatal(err)
+	}
+	if midFinals != 0 {
+		t.Fatalf("%d trace file(s) were visible before their point finished", midFinals)
+	}
+	finals, temps := globTraces(t, rc.TraceDir)
+	if len(finals) != points {
+		t.Fatalf("%d final files for %d points", len(finals), points)
+	}
+	if len(temps) != 0 {
+		t.Fatalf("stray temp files after a clean run: %v", temps)
+	}
+	// Every published file is sealed and chain-verifies.
+	for _, name := range finals {
+		f, err := os.Open(filepath.Join(rc.TraceDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		links, err := obsv.VerifyChain(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if links == 0 {
+			t.Fatalf("%s: published trace has no chain links", name)
+		}
+	}
+}
+
+// TestTraceExportErrorPublishesNothing: a point whose measurement fails must
+// leave neither a final trace file nor a temp file behind.
+func TestTraceExportErrorPublishesNothing(t *testing.T) {
+	rc := tinyConfig()
+	rc.Sizes = []int{20}
+	rc.Parallelism = 1
+	rc.TraceDir = t.TempDir()
+	rc.Runner = func(point string, compute func() (stats.Summary, error)) (stats.Summary, error) {
+		if _, err := compute(); err != nil {
+			return stats.Summary{}, err
+		}
+		return stats.Summary{}, fmt.Errorf("injected failure at %s", point)
+	}
+	if _, err := Figure10(rc); err == nil {
+		t.Fatal("figure succeeded despite injected point failure")
+	}
+	finals, temps := globTraces(t, rc.TraceDir)
+	if len(finals) != 0 {
+		t.Fatalf("failed point published trace files: %v", finals)
+	}
+	if len(temps) != 0 {
+		t.Fatalf("failed point left temp files: %v", temps)
+	}
+}
+
+// TestRunnerHookSubstitutesResults pins the caching contract internal/grid
+// relies on: a Runner that skips compute entirely substitutes the point's
+// summary without running a single simulation, and a pass-through Runner is
+// behavior-identical to no Runner.
+func TestRunnerHookSubstitutesResults(t *testing.T) {
+	rc := tinyConfig()
+	plain, err := Figure10(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass-through Runner: identical figure.
+	rc2 := tinyConfig()
+	rc2.Runner = func(point string, compute func() (stats.Summary, error)) (stats.Summary, error) {
+		return compute()
+	}
+	through, err := Figure10(rc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", through) != fmt.Sprintf("%+v", plain) {
+		t.Fatal("pass-through Runner changed the figure")
+	}
+
+	// Substituting Runner: compute never runs, canned summaries flow out.
+	rc3 := tinyConfig()
+	rc3.Runner = func(point string, compute func() (stats.Summary, error)) (stats.Summary, error) {
+		return stats.Summary{N: 3, Mean: 1.5}, nil
+	}
+	canned, err := Figure10(rc3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, panel := range canned.Panels {
+		for _, s := range panel.Series {
+			for _, p := range s.Points {
+				if p.Mean != 1.5 || p.Runs != 3 {
+					t.Fatalf("substituted point not used: %+v", p)
+				}
+			}
+		}
+	}
+}
+
+// TestScaleRunnerHook mirrors TestRunnerHookSubstitutesResults for the scale
+// sweep: substituted rows flow through Emit exactly like computed ones.
+func TestScaleRunnerHook(t *testing.T) {
+	cfg := ScaleConfig{Sizes: []int{40}, Degree: 8, Replicates: 2, Seed: 7}
+	plain, err := Scale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) == 0 {
+		t.Fatal("no rows")
+	}
+
+	var emitted []ScaleRow
+	cached := cfg
+	cached.Emit = func(r ScaleRow) { emitted = append(emitted, r) }
+	cached.Runner = func(point string, compute func() ([]ScaleRow, error)) ([]ScaleRow, error) {
+		want := fmt.Sprintf("scale/n=%d/d=%d/reps=%d", 40, 8, 2)
+		if point != want {
+			t.Fatalf("scale point label %q, want %q", point, want)
+		}
+		return plain, nil // substitute without computing
+	}
+	rows, err := Scale(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%+v", rows) != fmt.Sprintf("%+v", plain) {
+		t.Fatal("substituted rows differ")
+	}
+	if fmt.Sprintf("%+v", emitted) != fmt.Sprintf("%+v", plain) {
+		t.Fatal("Emit did not fire for substituted rows")
+	}
+}

@@ -1,0 +1,389 @@
+package grid
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestPointConfigHashSensitivity walks PointConfig's fields by reflection and
+// perturbs each one, proving the content address depends on every field: a
+// future field added to the struct is covered automatically, and a field
+// accidentally dropped from the JSON encoding (e.g. a json:"-" tag) fails
+// here instead of silently aliasing distinct configurations.
+func TestPointConfigHashSensitivity(t *testing.T) {
+	base := PointConfig{
+		Schema:     PointSchema,
+		Experiment: "fig10",
+		Point:      "10/d=6, 2-hop/FR/n=60/d=6",
+		Seed:       42,
+		MinRuns:    30,
+		MaxRuns:    200,
+		RelTol:     0.03,
+		Replicates: 5,
+		Degree:     18,
+	}
+	want := base.Hash()
+	if want != base.Hash() {
+		t.Fatal("hash not deterministic")
+	}
+	rt := reflect.TypeOf(base)
+	for i := 0; i < rt.NumField(); i++ {
+		field := rt.Field(i)
+		mut := base
+		fv := reflect.ValueOf(&mut).Elem().Field(i)
+		switch fv.Kind() {
+		case reflect.String:
+			fv.SetString(fv.String() + "x")
+		case reflect.Int, reflect.Int64:
+			fv.SetInt(fv.Int() + 1)
+		case reflect.Float64:
+			fv.SetFloat(fv.Float() + 0.5)
+		default:
+			t.Fatalf("field %s has kind %s: teach this test to perturb it", field.Name, fv.Kind())
+		}
+		if mut.Hash() == want {
+			t.Errorf("perturbing field %s did not change the hash: configs would alias in the cache", field.Name)
+		}
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PointConfig{Schema: PointSchema, Experiment: "fig10", Point: "p", Seed: 42, MinRuns: 5, MaxRuns: 8, RelTol: 0.5}
+
+	var out summaryPayload
+	if hit, err := c.Get(cfg, &out); err != nil || hit {
+		t.Fatalf("empty cache: hit=%v err=%v", hit, err)
+	}
+	in := summaryPayload{N: 7, Mean: 12.3456789012345, StdDev: 0.1, CI90: 0.0123456789}
+	if err := c.Put(cfg, in); err != nil {
+		t.Fatal(err)
+	}
+	hit, err := c.Get(cfg, &out)
+	if err != nil || !hit {
+		t.Fatalf("after Put: hit=%v err=%v", hit, err)
+	}
+	if out != in {
+		t.Fatalf("round trip lost precision: got %+v want %+v", out, in)
+	}
+	if n, err := c.VerifyAll(); err != nil || n != 1 {
+		t.Fatalf("VerifyAll = %d, %v", n, err)
+	}
+}
+
+// TestCacheDetectsEveryFlippedByte flips each byte of a cached point file in
+// turn and requires Get to fail loudly — never a silent miss that would
+// quietly recompute over tampered provenance, and never a hit serving
+// corrupted data.
+func TestCacheDetectsEveryFlippedByte(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := PointConfig{Schema: PointSchema, Experiment: "fig10", Point: "p", Seed: 42, MinRuns: 5, MaxRuns: 8, RelTol: 0.5}
+	if err := c.Put(cfg, summaryPayload{N: 7, Mean: 1.5, StdDev: 0.1, CI90: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	path := c.pointPath(cfg.Hash())
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range orig {
+		if b == '\n' {
+			continue
+		}
+		mut := bytes.Clone(orig)
+		mut[i] ^= 0x20
+		if mut[i] == '\n' || mut[i] == b {
+			mut[i] = b ^ 0x01
+		}
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var out summaryPayload
+		if hit, err := c.Get(cfg, &out); err == nil {
+			t.Fatalf("flipped byte %d (%q -> %q): Get returned hit=%v with no error", i, b, mut[i], hit)
+		}
+		if _, err := c.VerifyAll(); err == nil {
+			t.Fatalf("flipped byte %d: VerifyAll passed", i)
+		}
+	}
+	if err := os.WriteFile(path, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out summaryPayload
+	if hit, err := c.Get(cfg, &out); err != nil || !hit {
+		t.Fatalf("restored file: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestCommittedSpecMatchesDefault pins the committed grid.json to DefaultSpec:
+// editing one without the other fails here, so `make grid` and the Go-side
+// default can never drift apart.
+func TestCommittedSpecMatchesDefault(t *testing.T) {
+	spec, err := LoadSpec(filepath.Join("..", "..", "grid.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(spec, DefaultSpec()) {
+		t.Fatal("committed grid.json differs from DefaultSpec(); regenerate one to match the other")
+	}
+}
+
+func TestParseSpecRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":    `{"tables":[{"output":"a.txt","experiments":[{"id":"fig10","seeed":1}]}]}`,
+		"unknown id":       `{"tables":[{"output":"a.txt","experiments":[{"id":"fig99"}]}]}`,
+		"unknown ext":      `{"tables":[{"output":"a.txt","experiments":[{"id":"ext:nope"}]}]}`,
+		"duplicate output": `{"tables":[{"output":"a.txt","experiments":[{"id":"fig10"}]},{"output":"a.txt","experiments":[{"id":"fig11"}]}]}`,
+		"empty output":     `{"tables":[{"output":"","experiments":[{"id":"fig10"}]}]}`,
+		"path output":      `{"tables":[{"output":"../a.txt","experiments":[{"id":"fig10"}]}]}`,
+		"no experiments":   `{"tables":[{"output":"a.txt","experiments":[]}]}`,
+		"no tables":        `{"tables":[]}`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseSpec([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := ParseSpec([]byte(`{"tables":[{"output":"a.txt","experiments":[{"id":"ext:mobility"},{"id":"scale"}]}]}`)); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+// tinySpec is a fast two-table grid for runner tests: one figure section with
+// a single (n, d) sweep cell and loose replication.
+func tinySpec() Spec {
+	return Spec{Tables: []TableSpec{{
+		Output: "tiny.txt",
+		Experiments: []ExperimentSpec{{
+			ID:      "fig10",
+			Seed:    7,
+			Sizes:   []int{20},
+			Degrees: []int{6},
+			MinRuns: 5,
+			MaxRuns: 8,
+			RelTol:  0.5,
+		}},
+	}}}
+}
+
+func TestRunCachesAndResumes(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	opts := Options{Spec: tinySpec(), Cache: cache, OutDir: out}
+
+	cold, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Points == 0 || cold.Hits != 0 || cold.Misses != cold.Points {
+		t.Fatalf("cold run: %+v", cold)
+	}
+	table1, err := os.ReadFile(filepath.Join(out, "tiny.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table1) == 0 || !strings.Contains(string(table1), "Figure 10") {
+		t.Fatalf("table content: %q", table1)
+	}
+
+	// Warm rerun: every point must be a hit (enforced by RequireCached) and
+	// the table byte-identical.
+	opts.RequireCached = true
+	warm, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Points != cold.Points || warm.Hits != warm.Points || warm.Misses != 0 {
+		t.Fatalf("warm run: %+v (cold %+v)", warm, cold)
+	}
+	table2, err := os.ReadFile(filepath.Join(out, "tiny.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(table1, table2) {
+		t.Fatalf("warm table differs from cold table:\ncold: %q\nwarm: %q", table1, table2)
+	}
+
+	if n, err := Verify(opts); err != nil || n != cold.Points {
+		t.Fatalf("Verify = %d, %v (want %d points)", n, err, cold.Points)
+	}
+}
+
+func TestRunRequireCachedFailsCold(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Spec: tinySpec(), Cache: cache, OutDir: t.TempDir(), RequireCached: true}
+	if _, err := Run(opts); err == nil || !strings.Contains(err.Error(), "not cached") {
+		t.Fatalf("cold run with RequireCached: %v", err)
+	}
+}
+
+func TestListReportsCacheState(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Spec: tinySpec(), Cache: cache, OutDir: t.TempDir()}
+
+	before, err := List(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 {
+		t.Fatal("List found no points")
+	}
+	for _, p := range before {
+		if p.Cached {
+			t.Fatalf("cold cache reports %q cached", p.Point)
+		}
+	}
+	st, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := List(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != st.Points {
+		t.Fatalf("List found %d points, Run executed %d", len(after), st.Points)
+	}
+	for _, p := range after {
+		if !p.Cached {
+			t.Fatalf("after Run, %q not cached", p.Point)
+		}
+	}
+}
+
+func TestVerifyDetectsTamperedTableAndPoint(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	opts := Options{Spec: tinySpec(), Cache: cache, OutDir: out}
+	if _, err := Run(opts); err != nil {
+		t.Fatal(err)
+	}
+
+	// A regenerated-by-hand table no longer matches its manifest hash.
+	table := filepath.Join(out, "tiny.txt")
+	data, err := os.ReadFile(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(table, append(data, '#'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(opts); err == nil || !strings.Contains(err.Error(), "manifest hash") {
+		t.Fatalf("tampered table passed Verify: %v", err)
+	}
+	if err := os.WriteFile(table, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A deleted point file breaks the manifest's provenance.
+	points, err := os.ReadDir(filepath.Join(cache.Dir(), "points"))
+	if err != nil || len(points) == 0 {
+		t.Fatalf("points dir: %v (%d entries)", err, len(points))
+	}
+	victim := filepath.Join(cache.Dir(), "points", points[0].Name())
+	if err := os.Remove(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Verify(opts); err == nil || !strings.Contains(err.Error(), "no cache file") {
+		t.Fatalf("missing point file passed Verify: %v", err)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []manifestEntry{
+		{Experiment: "fig11", Point: "b", Hash: "22"},
+		{Experiment: "fig10", Point: "a", Hash: "11"},
+	}
+	if err := c.WriteManifest("x.txt", entries, "deadbeef"); err != nil {
+		t.Fatal(err)
+	}
+	got, table, err := c.readManifest("x.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Output != "x.txt" || table.SHA256 != "deadbeef" {
+		t.Fatalf("table record: %+v", table)
+	}
+	if len(got) != 2 || got[0].Experiment != "fig10" || got[1].Experiment != "fig11" {
+		t.Fatalf("entries not sorted: %+v", got)
+	}
+	outs, err := c.Manifests()
+	if err != nil || len(outs) != 1 || outs[0] != "x.txt" {
+		t.Fatalf("Manifests = %v, %v", outs, err)
+	}
+}
+
+// TestScaleRunnerCaches exercises the scale path end to end on a tiny sweep:
+// cold run computes and stores, warm run is all hits with identical bytes.
+func TestScaleRunnerCaches(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	spec := Spec{Tables: []TableSpec{{
+		Output: "scale.txt",
+		Experiments: []ExperimentSpec{{
+			ID:         "scale",
+			Seed:       7,
+			ScaleSizes: []int{40, 60},
+			ScaleReps:  2,
+		}},
+	}}}
+	opts := Options{Spec: spec, Cache: cache, OutDir: out}
+	cold, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Points != 2 || cold.Misses != 2 {
+		t.Fatalf("cold scale run: %+v", cold)
+	}
+	table1, err := os.ReadFile(filepath.Join(out, "scale.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.RequireCached = true
+	warm, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Hits != 2 || warm.Misses != 0 {
+		t.Fatalf("warm scale run: %+v", warm)
+	}
+	table2, err := os.ReadFile(filepath.Join(out, "scale.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(table1, table2) {
+		t.Fatalf("scale table not byte-identical:\ncold: %q\nwarm: %q", table1, table2)
+	}
+	if !strings.Contains(string(table1), "n=40 (2 replicates)") {
+		t.Fatalf("scale table content: %q", table1)
+	}
+}

@@ -1,0 +1,434 @@
+package grid
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"adhocbcast/internal/experiments"
+	"adhocbcast/internal/obsv"
+	"adhocbcast/internal/stats"
+)
+
+// Options configures a grid execution (Run, List, Verify).
+type Options struct {
+	// Spec is the grid to execute.
+	Spec Spec
+	// Cache holds the content-addressed point results and table manifests.
+	Cache *Cache
+	// OutDir is where generated tables are written (and where Verify looks
+	// for them); default ".".
+	OutDir string
+	// Tables, when non-empty, restricts execution to the named outputs.
+	Tables []string
+	// RequireCached makes any cache miss an error instead of computing the
+	// point — the mode grid-smoke uses to prove a rerun is all hits.
+	RequireCached bool
+	// ReplicateParallelism bounds concurrently evaluated replicates within a
+	// data point (results are identical for any value); default 1.
+	ReplicateParallelism int
+	// Log, when non-nil, receives progress lines.
+	Log func(format string, args ...any)
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Log != nil {
+		o.Log(format, args...)
+	}
+}
+
+func (o Options) outDir() string {
+	if o.OutDir == "" {
+		return "."
+	}
+	return o.OutDir
+}
+
+// selected reports whether output is in the Tables filter (empty = all).
+func (o Options) selected(output string) bool {
+	if len(o.Tables) == 0 {
+		return true
+	}
+	for _, t := range o.Tables {
+		if t == output {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats counts the points a Run touched.
+type Stats struct {
+	// Points is the total number of grid points executed or served.
+	Points int
+	// Hits and Misses split Points by cache outcome.
+	Hits, Misses int
+}
+
+// summaryPayload is the cached form of a CI-replicated point's result.
+// float64 values survive the JSON round-trip exactly (Go encodes them in
+// shortest round-tripping form), so a cached summary formats byte-identically
+// to a freshly computed one.
+type summaryPayload struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"stddev"`
+	CI90   float64 `json:"ci90"`
+}
+
+func payloadFrom(s stats.Summary) summaryPayload {
+	return summaryPayload{N: s.N, Mean: s.Mean, StdDev: s.StdDev, CI90: s.HalfWidth90}
+}
+
+func (p summaryPayload) summary() stats.Summary {
+	return stats.Summary{N: p.N, Mean: p.Mean, StdDev: p.StdDev, HalfWidth90: p.CI90}
+}
+
+// collector gathers per-point outcomes from Runner hooks, which the drivers
+// invoke concurrently.
+type collector struct {
+	opts Options
+	mu   sync.Mutex
+	st   *Stats
+	ents []manifestEntry
+}
+
+func (c *collector) record(cfg PointConfig, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.st.Points++
+	if hit {
+		c.st.Hits++
+	} else {
+		c.st.Misses++
+	}
+	c.ents = append(c.ents, manifestEntry{Experiment: cfg.Experiment, Point: cfg.Point, Hash: cfg.Hash()})
+}
+
+// resolve returns the experiment's effective seed and replication criterion —
+// the values the driver will actually use, with every default filled in, so
+// the PointConfig hash keys on real parameters rather than zeroes.
+func (e ExperimentSpec) resolve() (int64, stats.ReplicateOptions) {
+	seed := e.Seed
+	if seed == 0 {
+		seed = 42
+	}
+	if e.Paper {
+		return seed, experiments.Paper()
+	}
+	rep := stats.ReplicateOptions{MinRuns: e.MinRuns, MaxRuns: e.MaxRuns, RelTol: e.RelTol}
+	if rep.MinRuns == 0 {
+		rep.MinRuns = 30
+	}
+	if rep.MaxRuns == 0 {
+		rep.MaxRuns = 200
+	}
+	if rep.RelTol == 0 {
+		rep.RelTol = 0.03
+	}
+	return seed, rep
+}
+
+// Run executes every selected table of the spec: each grid point is served
+// from the cache when its content-addressed file verifies, computed and
+// stored otherwise, and each completed table is written atomically to OutDir
+// alongside a sealed provenance manifest in the cache.
+func Run(opts Options) (Stats, error) {
+	var st Stats
+	for _, t := range opts.Spec.Tables {
+		if !opts.selected(t.Output) {
+			continue
+		}
+		col := &collector{opts: opts, st: &st}
+		var buf strings.Builder
+		for _, e := range t.Experiments {
+			section, err := runExperiment(opts, e, col)
+			if err != nil {
+				return st, fmt.Errorf("grid: %s: %s: %w", t.Output, e.ID, err)
+			}
+			if e.Header != "" {
+				buf.WriteString(e.Header + "\n")
+			}
+			buf.WriteString(section)
+		}
+		data := []byte(buf.String())
+		sum := sha256.Sum256(data)
+		if err := opts.Cache.WriteManifest(t.Output, col.ents, hex.EncodeToString(sum[:])); err != nil {
+			return st, fmt.Errorf("grid: %s: manifest: %w", t.Output, err)
+		}
+		if err := obsv.WriteFileAtomic(filepath.Join(opts.outDir(), t.Output), data); err != nil {
+			return st, fmt.Errorf("grid: %s: %w", t.Output, err)
+		}
+		opts.logf("%s: %d point(s)", t.Output, len(col.ents))
+	}
+	return st, nil
+}
+
+// runExperiment executes one section of a table and returns its rendered
+// bytes (excluding the optional header). The output is byte-identical to what
+// cmd/experiments prints for the same parameters: Format(figure) plus the
+// trailing blank line for figure and extension sections, FormatScale for the
+// scale sweep.
+func runExperiment(opts Options, e ExperimentSpec, col *collector) (string, error) {
+	seed, rep := e.resolve()
+	if e.ID == "scale" {
+		sc := experiments.ScaleConfig{
+			Sizes:      e.ScaleSizes,
+			Degree:     e.ScaleDegree,
+			Replicates: e.ScaleReps,
+			Seed:       seed,
+			Runner:     scaleRunner(opts, e, seed, col),
+		}
+		rows, err := experiments.Scale(sc)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatScale(rows), nil
+	}
+	rc := experiments.RunConfig{
+		Sizes:                e.Sizes,
+		Degrees:              e.Degrees,
+		Replicate:            rep,
+		Seed:                 seed,
+		ReplicateParallelism: opts.ReplicateParallelism,
+		CrashFractions:       e.CrashFractions,
+		LossRates:            e.LossRates,
+		HelloLossRates:       e.HelloLossRates,
+		Runner:               ciRunner(opts, e, seed, rep, col),
+	}
+	f, err := figureFor(e.ID, rc)
+	if err != nil {
+		return "", err
+	}
+	return experiments.Format(f) + "\n", nil
+}
+
+// figureFor dispatches a fig/ext experiment id to its driver.
+func figureFor(id string, rc experiments.RunConfig) (experiments.Figure, error) {
+	if ext, ok := strings.CutPrefix(id, "ext:"); ok {
+		return experiments.ExtensionByID(ext, rc)
+	}
+	return experiments.FigureByID(strings.TrimPrefix(id, "fig"), rc)
+}
+
+// ciRunner is the caching hook for CI-replicated (figure and extension)
+// points.
+func ciRunner(opts Options, e ExperimentSpec, seed int64, rep stats.ReplicateOptions, col *collector) func(string, func() (stats.Summary, error)) (stats.Summary, error) {
+	return func(point string, compute func() (stats.Summary, error)) (stats.Summary, error) {
+		cfg := PointConfig{
+			Schema:     PointSchema,
+			Experiment: e.ID,
+			Point:      point,
+			Seed:       seed,
+			MinRuns:    rep.MinRuns,
+			MaxRuns:    rep.MaxRuns,
+			RelTol:     rep.RelTol,
+		}
+		var payload summaryPayload
+		hit, err := opts.Cache.Get(cfg, &payload)
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		if hit {
+			col.record(cfg, true)
+			return payload.summary(), nil
+		}
+		if opts.RequireCached {
+			return stats.Summary{}, fmt.Errorf("grid: point %q (%.12s…) not cached", point, cfg.Hash())
+		}
+		sum, err := compute()
+		if err != nil {
+			return stats.Summary{}, err
+		}
+		if err := opts.Cache.Put(cfg, payloadFrom(sum)); err != nil {
+			return stats.Summary{}, err
+		}
+		col.record(cfg, false)
+		return sum, nil
+	}
+}
+
+// scaleRunner is the caching hook for fixed-replication scale points.
+func scaleRunner(opts Options, e ExperimentSpec, seed int64, col *collector) func(string, func() ([]experiments.ScaleRow, error)) ([]experiments.ScaleRow, error) {
+	return func(point string, compute func() ([]experiments.ScaleRow, error)) ([]experiments.ScaleRow, error) {
+		cfg, err := scalePointConfig(e.ID, point, seed)
+		if err != nil {
+			return nil, err
+		}
+		var rows []experiments.ScaleRow
+		hit, err := opts.Cache.Get(cfg, &rows)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			col.record(cfg, true)
+			return rows, nil
+		}
+		if opts.RequireCached {
+			return nil, fmt.Errorf("grid: point %q (%.12s…) not cached", point, cfg.Hash())
+		}
+		rows, err = compute()
+		if err != nil {
+			return nil, err
+		}
+		if err := opts.Cache.Put(cfg, rows); err != nil {
+			return nil, err
+		}
+		col.record(cfg, false)
+		return rows, nil
+	}
+}
+
+// scalePointConfig builds the canonical config of one scale point from its
+// label, which pins the actual replicate count (the driver caps it for the
+// largest sizes) and degree.
+func scalePointConfig(experiment, point string, seed int64) (PointConfig, error) {
+	var n, d, reps int
+	if _, err := fmt.Sscanf(point, "scale/n=%d/d=%d/reps=%d", &n, &d, &reps); err != nil {
+		return PointConfig{}, fmt.Errorf("grid: unparseable scale point label %q: %w", point, err)
+	}
+	return PointConfig{
+		Schema:     PointSchema,
+		Experiment: experiment,
+		Point:      point,
+		Seed:       seed,
+		Replicates: reps,
+		Degree:     d,
+	}, nil
+}
+
+// PointStatus is one grid point's cache state, as reported by List.
+type PointStatus struct {
+	// Experiment and Point identify the grid point; Hash is its content
+	// address.
+	Experiment, Point, Hash string
+	// Cached reports whether the point's cache file exists (List does not
+	// verify it; see Verify).
+	Cached bool
+}
+
+// List enumerates every selected grid point and whether it is cached,
+// without computing anything: the drivers run with a hook that records each
+// point and substitutes zero results.
+func List(opts Options) ([]PointStatus, error) {
+	var mu sync.Mutex
+	var out []PointStatus
+	record := func(cfg PointConfig) {
+		_, err := os.Stat(opts.Cache.pointPath(cfg.Hash()))
+		mu.Lock()
+		defer mu.Unlock()
+		out = append(out, PointStatus{
+			Experiment: cfg.Experiment,
+			Point:      cfg.Point,
+			Hash:       cfg.Hash(),
+			Cached:     err == nil,
+		})
+	}
+	for _, t := range opts.Spec.Tables {
+		if !opts.selected(t.Output) {
+			continue
+		}
+		for _, e := range t.Experiments {
+			seed, rep := e.resolve()
+			var err error
+			if e.ID == "scale" {
+				sc := experiments.ScaleConfig{
+					Sizes:      e.ScaleSizes,
+					Degree:     e.ScaleDegree,
+					Replicates: e.ScaleReps,
+					Seed:       seed,
+					Runner: func(point string, _ func() ([]experiments.ScaleRow, error)) ([]experiments.ScaleRow, error) {
+						cfg, err := scalePointConfig(e.ID, point, seed)
+						if err != nil {
+							return nil, err
+						}
+						record(cfg)
+						return nil, nil
+					},
+				}
+				_, err = experiments.Scale(sc)
+			} else {
+				rc := experiments.RunConfig{
+					Sizes:          e.Sizes,
+					Degrees:        e.Degrees,
+					Replicate:      rep,
+					Seed:           seed,
+					CrashFractions: e.CrashFractions,
+					LossRates:      e.LossRates,
+					HelloLossRates: e.HelloLossRates,
+					Runner: func(point string, _ func() (stats.Summary, error)) (stats.Summary, error) {
+						record(PointConfig{
+							Schema:     PointSchema,
+							Experiment: e.ID,
+							Point:      point,
+							Seed:       seed,
+							MinRuns:    rep.MinRuns,
+							MaxRuns:    rep.MaxRuns,
+							RelTol:     rep.RelTol,
+						})
+						return stats.Summary{}, nil
+					},
+				}
+				_, err = figureFor(e.ID, rc)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("grid: list %s: %w", e.ID, err)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Experiment != out[j].Experiment {
+			return out[i].Experiment < out[j].Experiment
+		}
+		return out[i].Point < out[j].Point
+	})
+	return out, nil
+}
+
+// Verify checks the whole store: every cached point file's chain seal and
+// content address, every manifest's chain seal, every manifest entry's point
+// file, and every manifest's recorded table hash against the table file in
+// OutDir. It returns the number of verified point files; all failures are
+// reported together.
+func Verify(opts Options) (int, error) {
+	points, err := opts.Cache.VerifyAll()
+	var errs []error
+	if err != nil {
+		errs = append(errs, err)
+	}
+	outputs, err := opts.Cache.Manifests()
+	if err != nil {
+		return points, errors.Join(append(errs, err)...)
+	}
+	for _, output := range outputs {
+		entries, table, err := opts.Cache.readManifest(output)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		for _, e := range entries {
+			if _, err := os.Stat(opts.Cache.pointPath(e.Hash)); err != nil {
+				errs = append(errs, fmt.Errorf("grid: manifest %s: point %q (%.12s…) has no cache file", output, e.Point, e.Hash))
+			}
+		}
+		path := filepath.Join(opts.outDir(), table.Output)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("grid: manifest %s: %w", output, err))
+			continue
+		}
+		sum := sha256.Sum256(data)
+		if got := hex.EncodeToString(sum[:]); got != table.SHA256 {
+			errs = append(errs, fmt.Errorf("grid: %s does not match its manifest hash (regenerated without `make grid`, or tampered)", path))
+			continue
+		}
+		opts.logf("%s: %d point(s), table hash ok", output, len(entries))
+	}
+	return points, errors.Join(errs...)
+}

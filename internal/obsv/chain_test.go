@@ -1,0 +1,136 @@
+package obsv
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// sealedStream writes a small run+trace stream with interior and final
+// seals, returning the raw bytes.
+func sealedStream(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	run := NewRunRecord()
+	run.N = 3
+	run.Delivered = 3
+	if err := w.Write(Record{Kind: KindRun, Point: "p", Rep: 0, Run: run}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	for rep := 1; rep <= 2; rep++ {
+		ev := TraceEvent{Kind: "transmit", At: float64(rep), Node: rep, From: -1}
+		if err := w.Write(Record{Kind: KindTrace, Point: "p", Rep: rep, Event: &ev}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestVerifyChainAcceptsSealedStream(t *testing.T) {
+	data := sealedStream(t)
+	links, err := VerifyChain(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("sealed stream rejected: %v", err)
+	}
+	if links != 2 {
+		t.Fatalf("links = %d, want 2", links)
+	}
+	// The sealed stream still round-trips through the strict reader.
+	recs, err := Read(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("Read rejected sealed stream: %v", err)
+	}
+	chains := 0
+	for _, rec := range recs {
+		if rec.Kind == KindChain {
+			chains++
+		}
+	}
+	if chains != 2 {
+		t.Fatalf("Read saw %d chain records, want 2", chains)
+	}
+}
+
+// TestVerifyChainDetectsEveryFlippedByte flips each byte of a sealed stream
+// in turn and requires verification to fail: the chain leaves no byte of the
+// stream — payload, link hashes, or structure — uncovered.
+func TestVerifyChainDetectsEveryFlippedByte(t *testing.T) {
+	data := sealedStream(t)
+	for i := range data {
+		if data[i] == '\n' {
+			// Flipping a newline merges or splits lines; several of those
+			// mutations are structural JSON errors rather than chain
+			// mismatches, but all must fail one way or the other.
+			continue
+		}
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x20 // stays printable for most bytes; any flip must be caught
+		if mut[i] == '\n' || mut[i] == '"' || mut[i] == '\\' {
+			mut[i] = data[i] ^ 0x01
+		}
+		if _, err := VerifyChain(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flipped byte %d (%q -> %q) went undetected", i, data[i], mut[i])
+		}
+	}
+}
+
+func TestVerifyChainRejectsTruncationAndUnsealed(t *testing.T) {
+	data := sealedStream(t)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	// Dropping the final seal leaves trailing uncovered records.
+	truncated := bytes.Join(lines[:len(lines)-2], nil)
+	if _, err := VerifyChain(bytes.NewReader(truncated)); err == nil {
+		t.Fatal("stream missing its final seal verified")
+	}
+	// Dropping a covered payload line breaks the next link.
+	dropped := append(append([]byte(nil), lines[0]...), bytes.Join(lines[2:], nil)...)
+	if _, err := VerifyChain(bytes.NewReader(dropped)); err == nil {
+		t.Fatal("stream missing a covered record verified")
+	}
+	// A never-sealed stream with payload must not verify.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	run := NewRunRecord()
+	if err := w.Write(Record{Kind: KindRun, Run: run}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyChain(&buf); err == nil {
+		t.Fatal("unsealed stream verified")
+	}
+	// An empty stream is trivially valid with zero links.
+	if links, err := VerifyChain(strings.NewReader("")); err != nil || links != 0 {
+		t.Fatalf("empty stream: links=%d err=%v", links, err)
+	}
+}
+
+// TestVerifyChainForeignPayloadLines pins the property the grid cache relies
+// on: lines of any schema are covered payload, so a chain seal protects
+// non-obsv records too.
+func TestVerifyChainForeignPayloadLines(t *testing.T) {
+	var buf bytes.Buffer
+	ch := NewChainHasher()
+	line := []byte(`{"schema":"grid/v1","kind":"point","config":{"x":1}}` + "\n")
+	buf.Write(line)
+	ch.Add(line)
+	link := ch.Link()
+	w := NewWriter(&buf)
+	w.chain = ch // continue the same chain
+	rec := Record{Schema: SchemaVersion, Kind: KindChain, Chain: &link}
+	if err := w.emit(rec); err != nil {
+		t.Fatal(err)
+	}
+	if links, err := VerifyChain(bytes.NewReader(buf.Bytes())); err != nil || links != 1 {
+		t.Fatalf("foreign payload stream: links=%d err=%v", links, err)
+	}
+	mut := bytes.Replace(buf.Bytes(), []byte(`"x":1`), []byte(`"x":2`), 1)
+	if _, err := VerifyChain(bytes.NewReader(mut)); err == nil {
+		t.Fatal("tampered foreign payload verified")
+	}
+}

@@ -19,6 +19,11 @@ const (
 	KindRun = "run"
 	// KindTrace lines carry one trace event.
 	KindTrace = "trace"
+	// KindChain lines carry one hash-chain link sealing the record lines
+	// written since the previous link (see ChainLink and VerifyChain).
+	// Chain records are additive: run and trace record layouts are
+	// unchanged, so the schema version stays obsv/v1.
+	KindChain = "chain"
 )
 
 // TraceEvent is the export form of one simulation trace event. It mirrors
@@ -55,23 +60,46 @@ type Record struct {
 	Run *RunRecord `json:"run,omitempty"`
 	// Event is the payload of KindTrace lines.
 	Event *TraceEvent `json:"event,omitempty"`
+	// Chain is the payload of KindChain lines.
+	Chain *ChainLink `json:"chain,omitempty"`
 }
 
-// Writer emits Records as JSON lines.
+// Writer emits Records as JSON lines, accumulating a hash chain over the
+// written bytes that Seal can emit as a chain record at any point.
 type Writer struct {
-	w   io.Writer
-	buf bytes.Buffer
+	w     io.Writer
+	buf   bytes.Buffer
+	chain *ChainHasher
 }
 
 // NewWriter returns a Writer emitting to w.
-func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w, chain: NewChainHasher()} }
 
-// Write emits one record, stamping the schema version.
+// Write emits one record, stamping the schema version. Chain records cannot
+// be written directly; use Seal, which computes the link.
 func (w *Writer) Write(rec Record) error {
 	rec.Schema = SchemaVersion
 	if rec.Kind != KindRun && rec.Kind != KindTrace {
 		return fmt.Errorf("obsv: unknown record kind %q", rec.Kind)
 	}
+	if err := w.emit(rec); err != nil {
+		return err
+	}
+	w.chain.Add(w.buf.Bytes())
+	return nil
+}
+
+// Seal emits one chain record covering every record written since the
+// previous Seal (or the start of the stream), making the stream verifiable
+// by VerifyChain. A sealed prefix stays valid as more records and seals
+// follow.
+func (w *Writer) Seal() error {
+	link := w.chain.Link()
+	return w.emit(Record{Schema: SchemaVersion, Kind: KindChain, Chain: &link})
+}
+
+// emit encodes and writes one record line, leaving its bytes in w.buf.
+func (w *Writer) emit(rec Record) error {
 	w.buf.Reset()
 	enc := json.NewEncoder(&w.buf)
 	if err := enc.Encode(rec); err != nil {
@@ -109,6 +137,10 @@ func Read(r io.Reader) ([]Record, error) {
 		case KindTrace:
 			if rec.Event == nil {
 				return nil, fmt.Errorf("obsv: line %d: trace record without event payload", line)
+			}
+		case KindChain:
+			if rec.Chain == nil {
+				return nil, fmt.Errorf("obsv: line %d: chain record without chain payload", line)
 			}
 		default:
 			return nil, fmt.Errorf("obsv: line %d: unknown kind %q", line, rec.Kind)

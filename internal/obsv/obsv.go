@@ -1,7 +1,9 @@
 // Package obsv is the run-record observability layer: per-run metric
 // records (counters, a fixed-bucket latency histogram, a forward-set size
-// distribution), a versioned JSONL export of records and traces, and
-// lock-free live counters for debug endpoints. The package depends only on
+// distribution), a versioned JSONL export of records and traces with
+// tamper-evident hash-chain sealing (ChainLink, Writer.Seal, VerifyChain),
+// atomic file publication (AtomicFile), and lock-free live counters for
+// debug endpoints. The package depends only on
 // the standard library and allocates nothing on its observation hot paths,
 // so the simulator can feed it from inside the event loop; everything is
 // opt-in — a nil *RunRecord in sim.Config keeps the simulator byte-identical
