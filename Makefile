@@ -28,18 +28,19 @@ test-race:
 
 # Headline benchmarks, committed as a machine-readable report. The previous
 # report (if any) is embedded under "previous" for before/after comparison.
-BENCHES = BenchmarkFigure10Timing|BenchmarkCoverageConditions|BenchmarkReplicationPoint|BenchmarkTopologyBuild|BenchmarkScalePoint|BenchmarkScaleEngine
+BENCHES = BenchmarkFigure10Timing|BenchmarkCoverageConditions|BenchmarkReplicationPoint|BenchmarkTopologyBuild|BenchmarkScalePoint|BenchmarkScaleEngine|BenchmarkLoadPoint
 bench:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
 	$(GO) test -run='^$$' -bench='$(BENCHES)' -benchmem -timeout 30m . \
 		| /tmp/benchjson -old BENCH_results.json -out BENCH_results.json
 
-# CI regression gate: re-run the headline timing benchmarks and fail on a
-# >25% ns/op regression against the committed report.
+# CI regression gate: re-run the headline timing benchmarks — the paper-sized
+# single-broadcast point and the heavy-traffic saturation point — and fail on
+# a >25% ns/op regression against the committed report.
 bench-compare:
 	$(GO) build -o /tmp/benchjson ./cmd/benchjson
-	$(GO) test -run='^$$' -bench='BenchmarkFigure10Timing' -benchmem . \
-		| /tmp/benchjson -compare BENCH_results.json
+	$(GO) test -run='^$$' -bench='BenchmarkFigure10Timing|BenchmarkLoadPoint' -benchmem . \
+		| /tmp/benchjson -compare BENCH_results.json -match 'Figure10Timing|LoadPoint'
 
 # Every benchmark in the repository, human-readable.
 bench-full:

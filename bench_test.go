@@ -414,6 +414,35 @@ func BenchmarkScalePoint(b *testing.B) {
 	b.ReportMetric(forward, "fwdpct/op")
 }
 
+// BenchmarkLoadPoint measures one replicate of a saturation-sweep point at
+// the knee load (0.1 sessions/slot, n=100, d=6): workload generation plus a
+// multi-session contention-MAC run of each load variant, including the NACK
+// one. This is the unit of work `cmd/experiments -ext load` repeats, so
+// BENCH_results.json tracks the heavy-traffic trajectory alongside the
+// single-broadcast figures.
+func BenchmarkLoadPoint(b *testing.B) {
+	cfg := experiments.LoadConfig{
+		Rates:       []float64{0.1},
+		Replicates:  1,
+		Seed:        5,
+		Parallelism: 1,
+	}
+	b.ReportAllocs()
+	delivery := 0.0
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Load(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Variant == "Generic-FRB+NACK" {
+				delivery = r.Delivery
+			}
+		}
+	}
+	b.ReportMetric(delivery, "delivpct/op")
+}
+
 // peakRSSMB reports the process's peak resident set in MB (getrusage Maxrss,
 // which Linux reports in KB). It only ever grows, so in a multi-benchmark run
 // the number belongs to the largest workload measured so far — which is why

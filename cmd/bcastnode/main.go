@@ -20,6 +20,13 @@
 //
 //	bcastnode -proto generic-fr -hops 2                       # stdin/stdout
 //	bcastnode -udp :7001 -peers n0=10.0.0.1:7001,n2=... -recovery
+//	bcastnode -udp :7001 -peers ... -rate 0.01                # self-injecting traffic source
+//
+// With -rate every node becomes a traffic source: after the first topology it
+// replays its own per-source stream of the shared deterministic traffic plan
+// (internal/traffic; all nodes sources at -rate messages per time unit over
+// -horizon units), starting each arrival as a broadcast wave with a message
+// id at or above 2^32 (harness ids below that never collide).
 package main
 
 import (
@@ -60,6 +67,8 @@ func run(args []string) error {
 		recovery  = fs.Bool("recovery", false, "enable the NACK retry/backoff recovery layer")
 		budget    = fs.Int("retry-budget", 3, "recovery retransmissions per (sender, receiver) link")
 		seed      = fs.Int64("seed", 1, "seed of the node's private backoff streams")
+		rate      = fs.Float64("rate", 0, "self-inject broadcast sessions at this per-node Poisson rate (messages per time unit); 0 disables the generator")
+		horizon   = fs.Float64("horizon", 400, "traffic generation horizon in time units for -rate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,13 +82,15 @@ func run(args []string) error {
 		return fmt.Errorf("unknown metric %q (valid: id, degree, ncr)", *metric)
 	}
 	cfg := NodeConfig{
-		Protocol:     mk,
-		Hops:         *hops,
-		Metric:       m,
-		TimeScale:    *timescale,
-		NACKRecovery: *recovery,
-		RetryBudget:  *budget,
-		Seed:         *seed,
+		Protocol:       mk,
+		Hops:           *hops,
+		Metric:         m,
+		TimeScale:      *timescale,
+		NACKRecovery:   *recovery,
+		RetryBudget:    *budget,
+		Seed:           *seed,
+		Rate:           *rate,
+		TrafficHorizon: *horizon,
 	}
 
 	var w wire

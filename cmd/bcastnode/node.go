@@ -17,6 +17,7 @@ import (
 	"adhocbcast/internal/graph"
 	rt "adhocbcast/internal/runtime"
 	"adhocbcast/internal/sim"
+	"adhocbcast/internal/traffic"
 	"adhocbcast/internal/view"
 )
 
@@ -87,6 +88,17 @@ type NodeConfig struct {
 	NACKDelay    float64
 	RetryBackoff float64
 	Seed         int64
+	// Rate, when positive, turns the node into a traffic source: once the
+	// first topology is configured it replays its own per-source stream of
+	// the shared deterministic traffic plan (internal/traffic, every node a
+	// source at Rate messages per time unit over TrafficHorizon units),
+	// starting each arrival as a fresh broadcast wave. All nodes run the
+	// same (Seed, N)-keyed plan, so a deployment's offered load is
+	// reproducible without any coordination traffic.
+	Rate float64
+	// TrafficHorizon is the generation horizon in time units for Rate
+	// (default 400).
+	TrafficHorizon float64
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -117,6 +129,9 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 1
 	}
+	if c.TrafficHorizon <= 0 {
+		c.TrafficHorizon = 400
+	}
 	return c
 }
 
@@ -142,6 +157,8 @@ type Node struct {
 	start time.Time
 	msgID int
 	cores map[int64]*liveCore
+
+	trafficStarted bool
 }
 
 // NewNode builds a node over the given wire.
@@ -309,6 +326,54 @@ func (n *Node) handleTopology(env envelope) {
 	// old graph.
 	n.cores = make(map[int64]*liveCore)
 	n.reply(env, body{Type: "topology_ok"})
+	n.startTraffic()
+}
+
+// trafficMessageID tags node-generated broadcast waves: arrival seq of node
+// self maps to a message id at or above 1<<32, so self-injected waves never
+// collide with harness-injected messages (which stay below 2^32 in practice).
+func trafficMessageID(self, seq int) int64 {
+	return int64(self+1)<<32 | int64(seq)
+}
+
+// startTraffic arms the node's traffic generator on the first configured
+// topology: it expands the shared deterministic plan, keeps only its own
+// arrivals, and schedules each as a self-originated broadcast wave. Later
+// topology changes do not re-arm it — pending timers keep firing and start
+// their waves on whatever topology is current.
+func (n *Node) startTraffic() {
+	if n.cfg.Rate <= 0 || n.trafficStarted {
+		return
+	}
+	n.trafficStarted = true
+	plan, err := traffic.Poisson(traffic.Config{
+		N:       len(n.names),
+		Sources: len(n.names),
+		Rate:    n.cfg.Rate,
+		Horizon: n.cfg.TrafficHorizon,
+		Seed:    n.cfg.Seed,
+	})
+	if err != nil {
+		n.errl.Printf("traffic generator: %v", err)
+		return
+	}
+	seq := 0
+	for _, m := range plan.Messages {
+		if m.Source != n.self {
+			continue
+		}
+		msg := trafficMessageID(n.self, seq)
+		seq++
+		n.after(m.At, func() {
+			if n.g == nil {
+				return
+			}
+			lc := n.core(msg)
+			if !lc.core.Delivered() {
+				lc.core.Start()
+			}
+		})
+	}
 }
 
 // core returns (building on first use) the runtime core of one broadcast

@@ -1,4 +1,4 @@
-// Command checkdocs is the documentation gate run in CI. It enforces two
+// Command checkdocs is the documentation gate run in CI. It enforces three
 // invariants over the repository:
 //
 //  1. Go documentation: every package has a package doc comment and every
@@ -7,6 +7,10 @@
 //     are exempt.
 //  2. Markdown links: every relative link or image target in the checked-in
 //     *.md files resolves to an existing file or directory.
+//  3. Configuration coverage: every exported field of sim.Config (parsed
+//     from internal/sim/config.go) is mentioned by name in at least one
+//     checked-in markdown file, so no simulation knob can ship undocumented.
+//     Roots without that file (test fixtures) skip this check.
 //
 // Usage:
 //
@@ -97,7 +101,99 @@ func check(root string) ([]string, error) {
 		}
 		problems = append(problems, ps...)
 	}
+	ps, err := checkConfigCoverage(root, mdFiles)
+	if err != nil {
+		return nil, err
+	}
+	problems = append(problems, ps...)
 	return problems, nil
+}
+
+// configSource is the simulation configuration file whose exported Config
+// fields the coverage check audits against the committed documentation.
+const configSource = "internal/sim/config.go"
+
+// checkConfigCoverage parses configSource under root and reports every
+// exported field of the Config struct that no checked-in markdown file
+// mentions by name (word-boundary match, code fences included — fenced
+// examples are exactly where config fields are documented). Roots without
+// the file skip the check.
+func checkConfigCoverage(root string, mdFiles []string) ([]string, error) {
+	path := filepath.Join(root, filepath.FromSlash(configSource))
+	src, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, src, 0)
+	if err != nil {
+		return nil, err
+	}
+	docs := make([]string, 0, len(mdFiles))
+	for _, md := range mdFiles {
+		data, err := os.ReadFile(md)
+		if err != nil {
+			return nil, err
+		}
+		docs = append(docs, string(data))
+	}
+	var problems []string
+	for _, field := range exportedStructFields(f, "Config") {
+		re := regexp.MustCompile(`\b` + regexp.QuoteMeta(field.name) + `\b`)
+		mentioned := false
+		for _, doc := range docs {
+			if re.MatchString(doc) {
+				mentioned = true
+				break
+			}
+		}
+		if !mentioned {
+			p := fset.Position(field.pos)
+			problems = append(problems, fmt.Sprintf(
+				"%s:%d: sim.Config field %s is not mentioned in any checked-in markdown file",
+				path, p.Line, field.name))
+		}
+	}
+	return problems, nil
+}
+
+// structField is one exported field found by exportedStructFields.
+type structField struct {
+	name string
+	pos  token.Pos
+}
+
+// exportedStructFields returns the exported fields of the named top-level
+// struct type, in declaration order (embedded fields are skipped).
+func exportedStructFields(f *ast.File, typeName string) []structField {
+	var out []structField
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok || ts.Name.Name != typeName {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, fld := range st.Fields.List {
+				for _, n := range fld.Names {
+					if n.IsExported() {
+						out = append(out, structField{name: n.Name, pos: n.Pos()})
+					}
+				}
+			}
+		}
+	}
+	return out
 }
 
 // checkPackage parses one package directory and reports missing package and

@@ -78,6 +78,28 @@ func TestCheckFindsProblems(t *testing.T) {
 	}
 }
 
+// TestConfigCoverage exercises invariant 3 on a fixture tree: a sim.Config
+// field mentioned nowhere in markdown is a problem, one mentioned anywhere
+// (prose or code fence) is covered, and unexported fields are ignored.
+func TestConfigCoverage(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"internal/sim/config.go": "// Package sim is documented.\npackage sim\n\n" +
+			"// Config is documented.\ntype Config struct {\n" +
+			"\t// Hops is documented.\n\tHops int\n" +
+			"\t// Orphan is documented in Go but not in markdown.\n\tOrphan int\n" +
+			"\tinternal int\n}\n",
+		"README.md": "The `Hops` knob sets the view depth.\n",
+	})
+	problems, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "sim.Config field Orphan") {
+		t.Fatalf("got %v, want exactly the Orphan coverage problem", problems)
+	}
+}
+
 // TestRepositoryIsClean runs the gate over the real repository, so `go test`
 // fails locally for the same reasons the CI docs gate would.
 func TestRepositoryIsClean(t *testing.T) {

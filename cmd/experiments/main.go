@@ -49,7 +49,7 @@ func run(args []string) error {
 		fig    = fs.String("fig", "", "figure id to reproduce (10..16)")
 		all    = fs.Bool("all", false, "reproduce every figure")
 		table1 = fs.Bool("table1", false, "print Table 1")
-		ext    = fs.String("ext", "", "extension experiment: mobility, reliability, piggyback, backoff, visitedunion, cluster, latency, crash, crashforward, loss, helloloss, hellolossforward, hellolosslatency")
+		ext    = fs.String("ext", "", "extension experiment: mobility, reliability, piggyback, backoff, visitedunion, cluster, latency, crash, crashforward, loss, helloloss, hellolossforward, hellolosslatency, load")
 		scale  = fs.Bool("scale", false, "run the large-n scale sweep (delivery/forward/latency beyond the paper's n=100)")
 		ssizes = fs.String("scalesizes", "", "comma-separated network sizes for -scale (default 1000,5000,10000,25000,100000,1000000)")
 		sdeg   = fs.Int("scaledegree", 0, "average degree for -scale (default 18; sparse degrees are not connectable at large n)")
@@ -61,6 +61,8 @@ func run(args []string) error {
 		crash  = fs.String("crashfracs", "", "comma-separated crash fractions for -ext crash/crashforward (default 0,0.05,0.1,0.2,0.3)")
 		loss   = fs.String("lossrates", "", "comma-separated loss rates for -ext loss (default 0,0.05,0.1,0.2,0.3)")
 		hello  = fs.String("hellorates", "", "comma-separated hello loss rates for -ext helloloss* (default 0,0.05,0.1,0.2,0.3)")
+		lrates = fs.String("loadrates", "", "comma-separated offered loads (sessions/slot) for -ext load (default 0.02,0.05,0.1,0.2,0.4)")
+		lreps  = fs.Int("loadreps", 0, "replicates per -ext load point (default 5)")
 		par    = fs.Int("parallel", 1, "replicates evaluated concurrently per data point (results are identical for any value)")
 		cpu    = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		mem    = fs.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -173,6 +175,15 @@ func run(args []string) error {
 		})
 		return runScale(sc)
 	}
+	if *ext == "load" {
+		// The saturation sweep measures traffic curves, not a paper figure,
+		// so it has its own row type and streaming output (like -scale).
+		lc := experiments.LoadConfig{Seed: *seed, Replicates: *lreps, Parallelism: *par}
+		if lc.Rates, err = parseFloats(*lrates, "-loadrates"); err != nil {
+			return err
+		}
+		return runLoad(lc)
+	}
 	if *ext != "" {
 		f, err := experiments.ExtensionByID(*ext, rc)
 		if err != nil {
@@ -268,6 +279,26 @@ func runScale(sc experiments.ScaleConfig) error {
 		fmt.Println("  " + experiments.FormatScaleRow(r))
 	}
 	_, err := experiments.Scale(sc)
+	return err
+}
+
+// runLoad streams the saturation sweep: each offered-load point prints as
+// soon as it completes, light loads first, so the knee emerges live.
+func runLoad(lc experiments.LoadConfig) error {
+	lastRate := -1.0
+	lc.Emit = func(r experiments.LoadRow) {
+		if r.Rate != lastRate {
+			if lastRate != -1 {
+				fmt.Println()
+			}
+			fmt.Printf("offered load %.3f sessions/slot (%d replicates)\n", r.Rate, r.Replicates)
+			fmt.Printf("  %-18s %16s %15s %14s %14s %14s\n",
+				"variant", "throughput", "delivery %", "p50 (slots)", "p99 (slots)", "qdrops/sess")
+			lastRate = r.Rate
+		}
+		fmt.Println("  " + experiments.FormatLoadRow(r))
+	}
+	_, err := experiments.Load(lc)
 	return err
 }
 

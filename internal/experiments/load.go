@@ -1,0 +1,332 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+
+	"adhocbcast/internal/geo"
+	"adhocbcast/internal/protocol"
+	"adhocbcast/internal/sim"
+	"adhocbcast/internal/stats"
+	"adhocbcast/internal/traffic"
+)
+
+// The load sweep is the heavy-traffic workload: instead of one broadcast per
+// run, a deterministic Poisson process injects concurrent broadcast sessions
+// against the contention-aware MAC (carrier sense, per-node transmit queues,
+// overlap collisions), and the swept axis is the offered load. The measured
+// curves — throughput, delivery ratio, p50/p99 latency, queue drops — show
+// the saturation knee: throughput tracks offered load until the channel
+// saturates, then plateaus while latency and drops climb. See
+// docs/traffic-model.md for the model and EXPERIMENTS.md for reading the
+// committed table.
+
+// LoadConfig controls a saturation (offered-load) sweep.
+type LoadConfig struct {
+	// N is the network size (default 100) and Degree the target average
+	// degree (default 6, the paper's sparse setting).
+	N      int
+	Degree int
+	// Rates lists the swept offered loads in broadcast sessions per slot
+	// across the whole network (default 0.02, 0.05, 0.1, 0.2, 0.4).
+	Rates []float64
+	// Sources is the number of distinct traffic sources (default 8).
+	Sources int
+	// Horizon is the injection window in slots (default 400); the run itself
+	// continues until the event queue drains.
+	Horizon float64
+	// QueueCap is the per-node transmit queue capacity (default 8,
+	// tail-drop).
+	QueueCap int
+	// Replicates is the fixed per-point replication count (default 5).
+	Replicates int
+	// Seed is the base workload seed (default 42).
+	Seed int64
+	// Parallelism bounds the replicates evaluated concurrently within a
+	// point (default GOMAXPROCS). Results are deterministic for any value:
+	// every replicate derives from (Seed, n, d, rate, rep) alone and metrics
+	// fold in replicate order.
+	Parallelism int
+	// Hops is the local-view depth (default 2).
+	Hops int
+	// Engine selects the simulation engine (default EngineFast); the sweep
+	// is engine-independent, which TestLoadSweepDeterminism pins.
+	Engine sim.EngineKind
+	// Emit, when non-nil, receives each completed row as soon as its point
+	// finishes, in (rate, variant) order (cached rows included).
+	Emit func(LoadRow)
+	// Runner, when non-nil, intercepts each rate point's computation — the
+	// caching hook internal/grid uses, exactly like ScaleConfig.Runner.
+	Runner func(point string, compute func() ([]LoadRow, error)) ([]LoadRow, error)
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.N == 0 {
+		c.N = 100
+	}
+	if c.Degree == 0 {
+		c.Degree = 6
+	}
+	if len(c.Rates) == 0 {
+		c.Rates = []float64{0.02, 0.05, 0.1, 0.2, 0.4}
+	}
+	if c.Sources == 0 {
+		c.Sources = 8
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 400
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 8
+	}
+	if c.Replicates <= 0 {
+		c.Replicates = 5
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Hops <= 0 {
+		c.Hops = 2
+	}
+	return c
+}
+
+// LoadRow is one (rate, variant) result of a saturation sweep. Throughput is
+// in delivered session-equivalents per slot (see sim.TrafficResult.
+// Throughput), Delivery in percent of (session, node) pairs, latencies in
+// slots relative to each session's injection, QueueDrops in drops per
+// injected session. CI fields are 90% half-widths over the replicates.
+type LoadRow struct {
+	Rate         float64
+	Variant      string
+	Replicates   int
+	Throughput   float64
+	ThroughputCI float64
+	Delivery     float64
+	DeliveryCI   float64
+	LatencyP50   float64
+	LatencyP50CI float64
+	LatencyP99   float64
+	LatencyP99CI float64
+	QueueDrops   float64
+	QueueDropsCI float64
+}
+
+// loadVariants are the protocols the sweep saturates: blind flooding as the
+// channel-load worst case, the generic framework's first-receipt and
+// backoff policies, and the backoff policy with NACK recovery — so the
+// recovery layer is exercised under real contention, not just random loss.
+func loadVariants() []struct {
+	label string
+	make  func() sim.Protocol
+	nack  bool
+} {
+	return []struct {
+		label string
+		make  func() sim.Protocol
+		nack  bool
+	}{
+		{label: "Flooding", make: protocol.Flooding},
+		{label: "Generic-FR", make: func() sim.Protocol { return protocol.Generic(protocol.TimingFirstReceipt) }},
+		{label: "Generic-FRB", make: func() sim.Protocol { return protocol.Generic(protocol.TimingBackoffRandom) }},
+		{label: "Generic-FRB+NACK", make: func() sim.Protocol { return protocol.Generic(protocol.TimingBackoffRandom) }, nack: true},
+	}
+}
+
+// ratePermille converts an offered load to the integer sessions-per-1000-
+// slots encoding used in seeds and point labels (floats never enter either).
+func ratePermille(rate float64) int {
+	return int(math.Round(rate * 1000))
+}
+
+// loadSeed derives the deterministic workload seed of one (rate, rep) cell.
+// Variants are excluded: every variant of a replicate sees the same network,
+// the same traffic plan, and the same seeds (common random numbers).
+func loadSeed(base int64, n, d, permille, rep int) int64 {
+	return deriveSeed("load", base, n, d, permille, rep)
+}
+
+// loadSample is the per-(replicate, variant) measurement tuple.
+type loadSample struct {
+	throughput float64
+	delivery   float64
+	p50        float64
+	p99        float64
+	qdrops     float64
+}
+
+// Load runs the saturation sweep and returns one row per (rate, variant), in
+// sweep order. Points run strictly in rate order; within a point, replicates
+// run on up to Parallelism workers.
+func Load(cfg LoadConfig) ([]LoadRow, error) {
+	cfg = cfg.withDefaults()
+	var rows []LoadRow
+	for _, rate := range cfg.Rates {
+		point := fmt.Sprintf("load/rpm=%d/n=%d/d=%d/reps=%d",
+			ratePermille(rate), cfg.N, cfg.Degree, cfg.Replicates)
+		rate := rate
+		compute := func() ([]LoadRow, error) { return loadPoint(cfg, rate) }
+		var pointRows []LoadRow
+		var err error
+		if cfg.Runner != nil {
+			pointRows, err = cfg.Runner(point, compute)
+		} else {
+			pointRows, err = compute()
+		}
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range pointRows {
+			rows = append(rows, row)
+			if cfg.Emit != nil {
+				cfg.Emit(row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// loadPoint measures one rate point: Replicates replicates on up to
+// Parallelism workers, folded into one row per variant in replicate order so
+// the summary is bit-identical for any worker count.
+func loadPoint(cfg LoadConfig, rate float64) ([]LoadRow, error) {
+	variants := loadVariants()
+	nreps := cfg.Replicates
+	samples := make([][]loadSample, nreps)
+	errs := make([]error, nreps)
+	workers := cfg.Parallelism
+	if workers > nreps {
+		workers = nreps
+	}
+	reps := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arena := sim.NewArena()
+			for rep := range reps {
+				samples[rep], errs[rep] = loadReplicate(cfg, rate, rep, arena)
+			}
+		}()
+	}
+	for rep := 0; rep < nreps; rep++ {
+		reps <- rep
+	}
+	close(reps)
+	wg.Wait()
+
+	for rep, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("load rate=%g rep=%d: %w", rate, rep, err)
+		}
+	}
+	rows := make([]LoadRow, 0, len(variants))
+	for vi, v := range variants {
+		var thr, del, p50, p99, qd stats.Accumulator
+		for rep := 0; rep < nreps; rep++ {
+			s := samples[rep][vi]
+			thr.Add(s.throughput)
+			del.Add(s.delivery)
+			p50.Add(s.p50)
+			p99.Add(s.p99)
+			qd.Add(s.qdrops)
+		}
+		ts, ds, p50s, p99s, qs := thr.Summary(), del.Summary(), p50.Summary(), p99.Summary(), qd.Summary()
+		rows = append(rows, LoadRow{
+			Rate:       rate,
+			Variant:    v.label,
+			Replicates: nreps,
+			Throughput: ts.Mean, ThroughputCI: ts.HalfWidth90,
+			Delivery: ds.Mean, DeliveryCI: ds.HalfWidth90,
+			LatencyP50: p50s.Mean, LatencyP50CI: p50s.HalfWidth90,
+			LatencyP99: p99s.Mean, LatencyP99CI: p99s.HalfWidth90,
+			QueueDrops: qs.Mean, QueueDropsCI: qs.HalfWidth90,
+		})
+	}
+	return rows, nil
+}
+
+// loadReplicate generates one workload (network + traffic plan) and runs
+// every variant on it through the contention MAC, reusing one arena.
+func loadReplicate(cfg LoadConfig, rate float64, rep int, arena *sim.Arena) ([]loadSample, error) {
+	seed := loadSeed(cfg.Seed, cfg.N, cfg.Degree, ratePermille(rate), rep)
+	rng := rand.New(rand.NewSource(seed))
+	net, err := geo.Generate(geo.Config{N: cfg.N, AvgDegree: float64(cfg.Degree), Seed: seed}, rng)
+	if err != nil {
+		return nil, err
+	}
+	// traffic.Config.Rate is per source; the sweep axis is network-wide
+	// offered load, the same unit as TrafficResult.Throughput.
+	plan, err := traffic.Poisson(traffic.Config{
+		N:       cfg.N,
+		Sources: cfg.Sources,
+		Rate:    rate / float64(cfg.Sources),
+		Horizon: cfg.Horizon,
+		Seed:    seed + 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sessions := make([]sim.SessionSpec, len(plan.Messages))
+	for i, m := range plan.Messages {
+		sessions[i] = sim.SessionSpec{Source: m.Source, At: m.At}
+	}
+	variants := loadVariants()
+	out := make([]loadSample, len(variants))
+	for vi, v := range variants {
+		res, err := sim.RunTrafficWith(arena, net.G, sessions, v.make, sim.Config{
+			Hops:         cfg.Hops,
+			Seed:         seed + 1,
+			Engine:       cfg.Engine,
+			CarrierSense: true,
+			TxQueueCap:   cfg.QueueCap,
+			NACKRecovery: v.nack,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.label, err)
+		}
+		out[vi] = loadSample{
+			throughput: res.Throughput(),
+			delivery:   100 * res.DeliveryRatio(),
+			p50:        res.LatencyP50,
+			p99:        res.LatencyP99,
+			qdrops:     float64(res.QueueDrops) / float64(res.Sessions),
+		}
+	}
+	return out, nil
+}
+
+// FormatLoad renders load rows as one aligned text table per offered load.
+func FormatLoad(rows []LoadRow) string {
+	var b strings.Builder
+	lastRate := -1.0
+	for _, r := range rows {
+		if r.Rate != lastRate {
+			if lastRate != -1 {
+				b.WriteString("\n")
+			}
+			fmt.Fprintf(&b, "offered load %.3f sessions/slot (%d replicates)\n", r.Rate, r.Replicates)
+			fmt.Fprintf(&b, "  %-18s %16s %15s %14s %14s %14s\n",
+				"variant", "throughput", "delivery %", "p50 (slots)", "p99 (slots)", "qdrops/sess")
+			lastRate = r.Rate
+		}
+		b.WriteString("  " + FormatLoadRow(r) + "\n")
+	}
+	return b.String()
+}
+
+// FormatLoadRow renders one row as an aligned line (no leading indent).
+func FormatLoadRow(r LoadRow) string {
+	return fmt.Sprintf("%-18s %9.4f ±%.4f %9.2f ±%.2f %8.1f ±%.1f %8.1f ±%.1f %8.2f ±%.2f",
+		r.Variant, r.Throughput, r.ThroughputCI, r.Delivery, r.DeliveryCI,
+		r.LatencyP50, r.LatencyP50CI, r.LatencyP99, r.LatencyP99CI,
+		r.QueueDrops, r.QueueDropsCI)
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"adhocbcast/internal/sim"
+)
+
+// smallLoad is a sweep small enough for the test suite but still heavy
+// enough to exercise contention, queues, and the NACK variant.
+func smallLoad() LoadConfig {
+	return LoadConfig{
+		N:          40,
+		Degree:     6,
+		Rates:      []float64{0.05, 0.2},
+		Sources:    4,
+		Horizon:    60,
+		QueueCap:   4,
+		Replicates: 2,
+		Seed:       42,
+	}
+}
+
+// TestLoadSweepDeterminism pins the sweep-level determinism contract: the
+// whole saturation sweep — workload generation, contention MAC, NACK
+// recovery, statistics folding — must produce bit-identical rows for any
+// replicate parallelism and for both simulation engines. This is the
+// sweep-scale companion of the per-run engine differential test.
+func TestLoadSweepDeterminism(t *testing.T) {
+	base := smallLoad()
+	base.Parallelism = 1
+	want, err := Load(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(base.Rates)*len(loadVariants()) {
+		t.Fatalf("got %d rows, want %d", len(want), len(base.Rates)*len(loadVariants()))
+	}
+	for _, par := range []int{2, 8} {
+		cfg := smallLoad()
+		cfg.Parallelism = par
+		got, err := Load(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("parallelism %d diverged from serial sweep", par)
+		}
+	}
+	oracle := smallLoad()
+	oracle.Parallelism = 4
+	oracle.Engine = sim.EngineOracle
+	got, err := Load(oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("oracle engine diverged from fast engine at sweep level")
+	}
+}
+
+// TestLoadEmitAndRunner checks the streaming and caching hooks: Emit sees
+// every row in order, and a Runner intercepting all points with canned rows
+// bypasses computation entirely.
+func TestLoadEmitAndRunner(t *testing.T) {
+	cfg := smallLoad()
+	cfg.Parallelism = 4
+	var emitted []LoadRow
+	cfg.Emit = func(r LoadRow) { emitted = append(emitted, r) }
+	rows, err := Load(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(emitted, rows) {
+		t.Errorf("Emit saw %d rows, want the %d returned rows in order", len(emitted), len(rows))
+	}
+
+	var points []string
+	canned := LoadConfig{Rates: []float64{0.1}, Runner: func(point string, _ func() ([]LoadRow, error)) ([]LoadRow, error) {
+		points = append(points, point)
+		return []LoadRow{{Rate: 0.1, Variant: "stub", Replicates: 1}}, nil
+	}}
+	rows, err = Load(canned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Variant != "stub" {
+		t.Errorf("Runner rows not returned verbatim: %+v", rows)
+	}
+	if len(points) != 1 || points[0] != "load/rpm=100/n=100/d=6/reps=5" {
+		t.Errorf("point labels = %v, want the canonical resolved label", points)
+	}
+}
+
+// TestFormatLoad smoke-checks the table renderer groups rows by rate.
+func TestFormatLoad(t *testing.T) {
+	rows := []LoadRow{
+		{Rate: 0.05, Variant: "A", Replicates: 2},
+		{Rate: 0.05, Variant: "B", Replicates: 2},
+		{Rate: 0.2, Variant: "A", Replicates: 2},
+	}
+	out := FormatLoad(rows)
+	if strings.Count(out, "offered load") != 2 {
+		t.Errorf("want 2 rate headers, got:\n%s", out)
+	}
+	if strings.Count(out, "variant") != 2 {
+		t.Errorf("want a column header per rate group, got:\n%s", out)
+	}
+}

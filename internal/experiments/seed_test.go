@@ -80,6 +80,11 @@ func TestDeriveSeedCollisionFree(t *testing.T) {
 			add(scaleSeed(base, n, 18, rep), "scale n=%d rep=%d", n, rep)
 		}
 	}
+	for _, pm := range []int{20, 50, 100, 200, 400} {
+		for rep := 0; rep < 5; rep++ {
+			add(loadSeed(base, 100, 6, pm, rep), "load permille=%d rep=%d", pm, rep)
+		}
+	}
 	if len(seen) < 100000 {
 		t.Fatalf("enumerated only %d cells; the grid enumeration shrank", len(seen))
 	}

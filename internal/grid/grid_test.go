@@ -339,6 +339,56 @@ func TestManifestRoundTrip(t *testing.T) {
 	}
 }
 
+// TestLoadRunnerCaches exercises the saturation-sweep path end to end on a
+// tiny sweep: cold run computes and stores one point per rate, warm run is
+// all hits with identical bytes.
+func TestLoadRunnerCaches(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := t.TempDir()
+	spec := Spec{Tables: []TableSpec{{
+		Output: "load.txt",
+		Experiments: []ExperimentSpec{{
+			ID:        "load",
+			Seed:      7,
+			LoadRates: []float64{0.05, 0.2},
+			LoadReps:  2,
+		}},
+	}}}
+	opts := Options{Spec: spec, Cache: cache, OutDir: out}
+	cold, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Points != 2 || cold.Misses != 2 {
+		t.Fatalf("cold load run: %+v", cold)
+	}
+	table1, err := os.ReadFile(filepath.Join(out, "load.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.RequireCached = true
+	warm, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Hits != 2 || warm.Misses != 0 {
+		t.Fatalf("warm load run: %+v", warm)
+	}
+	table2, err := os.ReadFile(filepath.Join(out, "load.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(table1, table2) {
+		t.Fatalf("load table not byte-identical:\ncold: %q\nwarm: %q", table1, table2)
+	}
+	if !strings.Contains(string(table1), "offered load 0.050 sessions/slot (2 replicates)") {
+		t.Fatalf("load table content: %q", table1)
+	}
+}
+
 // TestScaleRunnerCaches exercises the scale path end to end on a tiny sweep:
 // cold run computes and stores, warm run is all hits with identical bytes.
 func TestScaleRunnerCaches(t *testing.T) {

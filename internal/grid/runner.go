@@ -174,9 +174,22 @@ func Run(opts Options) (Stats, error) {
 // bytes (excluding the optional header). The output is byte-identical to what
 // cmd/experiments prints for the same parameters: Format(figure) plus the
 // trailing blank line for figure and extension sections, FormatScale for the
-// scale sweep.
+// scale sweep, FormatLoad for the saturation sweep.
 func runExperiment(opts Options, e ExperimentSpec, col *collector) (string, error) {
 	seed, rep := e.resolve()
+	if e.ID == "load" {
+		lc := experiments.LoadConfig{
+			Rates:      e.LoadRates,
+			Replicates: e.LoadReps,
+			Seed:       seed,
+			Runner:     loadRunner(opts, e, seed, col),
+		}
+		rows, err := experiments.Load(lc)
+		if err != nil {
+			return "", err
+		}
+		return experiments.FormatLoad(rows), nil
+	}
 	if e.ID == "scale" {
 		sc := experiments.ScaleConfig{
 			Sizes:      e.ScaleSizes,
@@ -285,6 +298,55 @@ func scaleRunner(opts Options, e ExperimentSpec, seed int64, col *collector) fun
 	}
 }
 
+// loadRunner is the caching hook for fixed-replication saturation points.
+func loadRunner(opts Options, e ExperimentSpec, seed int64, col *collector) func(string, func() ([]experiments.LoadRow, error)) ([]experiments.LoadRow, error) {
+	return func(point string, compute func() ([]experiments.LoadRow, error)) ([]experiments.LoadRow, error) {
+		cfg, err := loadPointConfig(e.ID, point, seed)
+		if err != nil {
+			return nil, err
+		}
+		var rows []experiments.LoadRow
+		hit, err := opts.Cache.Get(cfg, &rows)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			col.record(cfg, true)
+			return rows, nil
+		}
+		if opts.RequireCached {
+			return nil, fmt.Errorf("grid: point %q (%.12s…) not cached", point, cfg.Hash())
+		}
+		rows, err = compute()
+		if err != nil {
+			return nil, err
+		}
+		if err := opts.Cache.Put(cfg, rows); err != nil {
+			return nil, err
+		}
+		col.record(cfg, false)
+		return rows, nil
+	}
+}
+
+// loadPointConfig builds the canonical config of one saturation point from
+// its label (the offered load is encoded as integer permille, so no floats
+// enter the content address).
+func loadPointConfig(experiment, point string, seed int64) (PointConfig, error) {
+	var rpm, n, d, reps int
+	if _, err := fmt.Sscanf(point, "load/rpm=%d/n=%d/d=%d/reps=%d", &rpm, &n, &d, &reps); err != nil {
+		return PointConfig{}, fmt.Errorf("grid: unparseable load point label %q: %w", point, err)
+	}
+	return PointConfig{
+		Schema:     PointSchema,
+		Experiment: experiment,
+		Point:      point,
+		Seed:       seed,
+		Replicates: reps,
+		Degree:     d,
+	}, nil
+}
+
 // scalePointConfig builds the canonical config of one scale point from its
 // label, which pins the actual replicate count (the driver caps it for the
 // largest sizes) and degree.
@@ -337,7 +399,22 @@ func List(opts Options) ([]PointStatus, error) {
 		for _, e := range t.Experiments {
 			seed, rep := e.resolve()
 			var err error
-			if e.ID == "scale" {
+			if e.ID == "load" {
+				lc := experiments.LoadConfig{
+					Rates:      e.LoadRates,
+					Replicates: e.LoadReps,
+					Seed:       seed,
+					Runner: func(point string, _ func() ([]experiments.LoadRow, error)) ([]experiments.LoadRow, error) {
+						cfg, err := loadPointConfig(e.ID, point, seed)
+						if err != nil {
+							return nil, err
+						}
+						record(cfg)
+						return nil, nil
+					},
+				}
+				_, err = experiments.Load(lc)
+			} else if e.ID == "scale" {
 				sc := experiments.ScaleConfig{
 					Sizes:      e.ScaleSizes,
 					Degree:     e.ScaleDegree,

@@ -35,7 +35,7 @@ type TableSpec struct {
 // points instead of silently reusing stale ones.
 type ExperimentSpec struct {
 	// ID names the driver: "fig10".."fig16", "ext:<name>" (see
-	// experiments.AllExtensionIDs), or "scale".
+	// experiments.AllExtensionIDs), "scale", or "load".
 	ID string `json:"id"`
 	// Header, when non-empty, is printed verbatim on its own line above the
 	// section (results_ext.txt uses "==== -ext <id> ====" headers).
@@ -62,6 +62,9 @@ type ExperimentSpec struct {
 	ScaleSizes  []int `json:"scale_sizes,omitempty"`
 	ScaleDegree int   `json:"scale_degree,omitempty"`
 	ScaleReps   int   `json:"scale_reps,omitempty"`
+	// LoadRates and LoadReps configure the "load" (saturation sweep) driver.
+	LoadRates []float64 `json:"load_rates,omitempty"`
+	LoadReps  int       `json:"load_reps,omitempty"`
 }
 
 // ParseSpec decodes and validates a spec document. Unknown fields are
@@ -123,7 +126,7 @@ func (s Spec) validate() error {
 
 func validateID(id string) error {
 	switch {
-	case id == "scale":
+	case id == "scale", id == "load":
 		return nil
 	case strings.HasPrefix(id, "fig"):
 		for _, fid := range experiments.AllFigureIDs() {
@@ -138,15 +141,16 @@ func validateID(id string) error {
 			}
 		}
 	}
-	return fmt.Errorf("unknown experiment id %q (valid: fig10..fig16, ext:<name>, scale)", id)
+	return fmt.Errorf("unknown experiment id %q (valid: fig10..fig16, ext:<name>, scale, load)", id)
 }
 
-// DefaultSpec is the grid behind the four committed results tables:
+// DefaultSpec is the grid behind the five committed results tables:
 // results_all.txt (every figure, moderate replication), results_paper.txt
 // (every figure, the paper's ±1% criterion), results_ext.txt (every
-// extension experiment with its section header), and results_scale.txt
-// (the large-n sweep). The committed grid.json must stay equal to it
-// (pinned by TestCommittedSpecMatchesDefault).
+// extension experiment with its section header), results_scale.txt (the
+// large-n sweep), and results_load.txt (the heavy-traffic saturation
+// sweep). The committed grid.json must stay equal to it (pinned by
+// TestCommittedSpecMatchesDefault).
 func DefaultSpec() Spec {
 	figs := func(paper bool) []ExperimentSpec {
 		var out []ExperimentSpec
@@ -167,5 +171,6 @@ func DefaultSpec() Spec {
 		{Output: "results_paper.txt", Experiments: figs(true)},
 		{Output: "results_ext.txt", Experiments: exts},
 		{Output: "results_scale.txt", Experiments: []ExperimentSpec{{ID: "scale"}}},
+		{Output: "results_load.txt", Experiments: []ExperimentSpec{{ID: "load"}}},
 	}}
 }

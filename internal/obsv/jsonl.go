@@ -30,7 +30,8 @@ const (
 // sim.TraceEvent without importing the simulator, keeping this package
 // dependency-free.
 type TraceEvent struct {
-	// Kind is "transmit", "deliver", or "non-forward".
+	// Kind is "transmit", "deliver", "non-forward", "session-start",
+	// "enqueue", or "queue-drop".
 	Kind string `json:"kind"`
 	// At is the simulation time.
 	At float64 `json:"at"`
@@ -39,6 +40,14 @@ type TraceEvent struct {
 	// From is the sender for deliver events; -1 otherwise (and for the
 	// source's own t=0 delivery, which no one transmitted).
 	From int `json:"from"`
+	// Session is the broadcast session id. Absent means session 0, which is
+	// every event of a single-broadcast run; multi-session traffic runs tag
+	// events with the session they belong to. Additive: the schema version
+	// stays obsv/v1.
+	Session int `json:"session,omitempty"`
+	// Cause labels queue-drop events ("tail", "head", or "down"); absent for
+	// every other kind. Additive, like Session.
+	Cause string `json:"cause,omitempty"`
 	// Designated carries the designated forward set of transmit events.
 	Designated []int `json:"designated,omitempty"`
 }

@@ -113,6 +113,18 @@ type RunRecord struct {
 	TimersCancelled int `json:"timers_cancelled"`
 	NACKs           int `json:"nacks"`
 	Retransmits     int `json:"retransmits"`
+	// Sessions is the number of broadcast sessions the run injected; absent
+	// (0 encodes as omitted) for single-broadcast runs, whose records stay
+	// byte-identical. In multi-session runs Reachable counts Sessions*N
+	// deliverable (session, node) pairs and Delivered/DeliveredReachable
+	// count pairs reached. Additive: the schema version stays obsv/v1.
+	Sessions int `json:"sessions,omitempty"`
+	// QueueDrops and MACDeferrals count contention-MAC activity: packets
+	// dropped from transmit queues and carrier-sense deferrals. Queued
+	// packets never went on the air, so queue drops are outside the Conserved
+	// identity. Absent (zero) without sim.Config.CarrierSense. Additive.
+	QueueDrops   int `json:"queue_drops,omitempty"`
+	MACDeferrals int `json:"mac_deferrals,omitempty"`
 	// Reachable and DeliveredReachable score delivery against the nodes
 	// still connected to the source under the fault plan.
 	Reachable          int `json:"reachable"`

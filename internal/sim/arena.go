@@ -44,6 +44,13 @@ type Arena struct {
 	evtKind    []uint8  // per-node batch event classification bits
 	evtTouched []int    // nodes with non-zero evtKind entries
 	timerIdx   []int    // batch indices of precomputable timer events
+
+	// Contention-MAC scratch (CarrierSense runs; see Network.resetMAC).
+	busyUntil   []float64
+	airEnd      []float64
+	garbleUntil []float64
+	txPending   []bool
+	txq         []txRing
 }
 
 // NewArena returns an empty Arena ready for RunWith.
@@ -106,6 +113,24 @@ func (a *Arena) workerEvals(w, n int) []*core.Evaluator {
 		a.wrkEval = append(a.wrkEval, core.NewEvaluator(n))
 	}
 	return a.wrkEval[:w]
+}
+
+// ensureMACScratch sizes the contention-MAC scratch for an n-node run. The
+// five arrays are always (re)allocated together, so one capacity check
+// suffices; Network.resetMAC clears the entries it will use.
+func (a *Arena) ensureMACScratch(n int) {
+	if cap(a.busyUntil) < n {
+		a.busyUntil = make([]float64, n)
+		a.airEnd = make([]float64, n)
+		a.garbleUntil = make([]float64, n)
+		a.txPending = make([]bool, n)
+		a.txq = make([]txRing, n)
+	}
+	a.busyUntil = a.busyUntil[:n]
+	a.airEnd = a.airEnd[:n]
+	a.garbleUntil = a.garbleUntil[:n]
+	a.txPending = a.txPending[:n]
+	a.txq = a.txq[:n]
 }
 
 // ensureLoopScratch sizes the batch-processing scratch for an n-node run.

@@ -125,11 +125,48 @@ type Config struct {
 	LossRate float64
 	// Collisions, when true, drops every copy that arrives at a receiver
 	// simultaneously with another copy (a CSMA-less broadcast collision).
+	// It is the legacy all-or-nothing channel model, kept as a
+	// compatibility mode; CarrierSense is the contention-aware
+	// generalization, and the two are mutually exclusive.
 	Collisions bool
 	// TxJitter adds a uniform random delay in [0, TxJitter) to each
 	// transmission, de-synchronizing retransmission waves (the "small
 	// forwarding jitter delay" that relieves collisions).
 	TxJitter float64
+
+	// The fields below enable the contention-aware MAC of the heavy-traffic
+	// experiments (see docs/traffic-model.md): per-node FIFO transmit
+	// queues and a carrier-sense + slotted-backoff channel where
+	// overlapping in-range transmissions garble each other. All default to
+	// off, which keeps every paper figure and golden byte-identical.
+
+	// CarrierSense enables the contention-aware MAC: Transmit hands the
+	// packet to the node's FIFO transmit queue, the head transmits only
+	// when no in-range transmission started strictly earlier is still on
+	// the air (a radio cannot sense a transmission that starts at the same
+	// instant, so simultaneous starts collide), a busy channel defers the
+	// attempt by a slotted random backoff, and copies whose air time
+	// overlaps another in-range transmission are dropped as collided —
+	// including hidden-terminal overlaps carrier sensing cannot prevent.
+	// Mutually exclusive with Collisions and TxJitter (the contention MAC
+	// is slotted; jitter would move arrivals off the slot grid).
+	CarrierSense bool
+	// TxQueueCap caps each node's transmit queue (only meaningful with
+	// CarrierSense). 0 means unbounded; with a positive cap, an enqueue to
+	// a full queue drops a packet according to DropOldest and is counted
+	// in Result.QueueDrops.
+	TxQueueCap int
+	// DropOldest selects the overflow policy of a full transmit queue:
+	// false (default) drops the arriving packet (tail drop), true evicts
+	// the queue head to admit the arrival (head drop, favoring fresh
+	// traffic under overload).
+	DropOldest bool
+	// CSBackoffSlots is the slotted backoff window W of the contention
+	// MAC: a node that senses the channel busy retries after a uniform
+	// 1..W whole transmission slots (default 4). Draws come from a
+	// dedicated "mac" RNG stream, so enabling contention never perturbs
+	// the backoff, jitter, loss, or fault streams.
+	CSBackoffSlots int
 
 	// Faults, when non-nil, is a deterministic fault plan (node crashes,
 	// churn, link outages) the run honors: copies arriving at a down node
@@ -179,6 +216,23 @@ func (c Config) validate(n int) error {
 	if c.Engine != EngineFast && c.Engine != EngineOracle {
 		return fmt.Errorf("sim: unknown Engine %d", c.Engine)
 	}
+	if c.CarrierSense && c.Collisions {
+		return fmt.Errorf("sim: CarrierSense and Collisions are mutually exclusive: " +
+			"one channel model per run (Collisions is the legacy compatibility mode)")
+	}
+	if c.CarrierSense && c.TxJitter > 0 {
+		return fmt.Errorf("sim: TxJitter is incompatible with CarrierSense " +
+			"(the contention MAC is slotted; jitter would move arrivals off the slot grid)")
+	}
+	if c.TxQueueCap < 0 {
+		return fmt.Errorf("sim: negative TxQueueCap %d", c.TxQueueCap)
+	}
+	if c.CSBackoffSlots < 0 {
+		return fmt.Errorf("sim: negative CSBackoffSlots %d", c.CSBackoffSlots)
+	}
+	if !c.CarrierSense && (c.TxQueueCap != 0 || c.DropOldest || c.CSBackoffSlots != 0) {
+		return fmt.Errorf("sim: TxQueueCap/DropOldest/CSBackoffSlots require CarrierSense")
+	}
 	if c.Workers < 0 {
 		return fmt.Errorf("sim: negative Workers %d", c.Workers)
 	}
@@ -226,6 +280,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 1
+	}
+	if c.CSBackoffSlots == 0 {
+		c.CSBackoffSlots = 4
 	}
 	return c
 }

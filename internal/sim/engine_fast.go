@@ -95,12 +95,12 @@ func (net *Network) runBatch(batch []event) {
 		e := &batch[i]
 		if coll && e.kind == eventReceive && arr[e.node] > 1 {
 			net.collided++
-			net.maybeNACK(e.node, e.receipt.From, e.attempt)
+			net.maybeNACK(e.session, e.node, e.receipt.From, e.attempt)
 			continue
 		}
 		switch {
 		case kinds != nil && e.kind == eventReceive && kinds[e.node]&kindPremerged != 0:
-			net.handleReceive(e.node, e.receipt, e.attempt, true)
+			net.handleReceive(e.session, e.node, e.receipt, e.attempt, true)
 		case e.kind == eventTimer:
 			net.dispatch(e)
 			if net.prepared != nil {
@@ -155,8 +155,12 @@ func (net *Network) precompute(batch []event) []uint8 {
 	a.evtTouched = touched
 	a.timerIdx = timers
 	premerge := false
+	// Pre-merge is off under the contention MAC (a copy may still be garbled
+	// at dispatch time) and in multi-session runs (net.nodes is not the
+	// session's state), in addition to the loss/collision/fault gates.
 	if nd, ok := net.protocol.(NonDesignating); ok && nd.NonDesignating() &&
-		net.Cfg.LossRate == 0 && !net.Cfg.Collisions && net.plan == nil {
+		net.Cfg.LossRate == 0 && !net.Cfg.Collisions && !net.Cfg.CarrierSense &&
+		net.plan == nil && net.multi == nil {
 		for _, v := range touched {
 			if kinds[v] == kindReceive {
 				kinds[v] |= kindPremerged

@@ -13,6 +13,13 @@ const (
 	// eventRetransmit fires at the sender (node) when its recovery backoff
 	// expires; it emits one unicast copy toward peer.
 	eventRetransmit
+	// eventSessionStart injects a new broadcast session (multi-session
+	// traffic runs): node is the source, session the session id.
+	eventSessionStart
+	// eventTxAttempt fires when node may try to transmit its queue head
+	// under the contention MAC (CarrierSense): it carrier-senses the
+	// channel and either transmits or defers with a slotted backoff.
+	eventTxAttempt
 )
 
 // event is a scheduled simulator action. Events are ordered by time with the
@@ -25,6 +32,7 @@ type event struct {
 	receipt Receipt // valid for eventReceive
 	peer    int     // recovery counterpart (eventNACK / eventRetransmit)
 	attempt int     // recovery attempt: 0 for original copies, k for retry k
+	session int32   // broadcast session id (0 outside multi-session runs)
 }
 
 // eventQueue is a binary min-heap of events.

@@ -1,0 +1,52 @@
+package sim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"adhocbcast/internal/geo"
+	"adhocbcast/internal/protocol"
+	"adhocbcast/internal/sim"
+	"adhocbcast/internal/view"
+)
+
+// TestZeroTrafficGolden pins the single-broadcast, default-MAC simulation
+// byte-for-byte: with every heavy-traffic feature off (no CarrierSense, no
+// queues, no sessions), a canonical run must keep producing exactly the
+// numbers it produced before the contention MAC and multi-session machinery
+// existed. Any drift here means the committed paper-figure tables are no
+// longer reproducible from source.
+func TestZeroTrafficGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	net, err := geo.Generate(geo.Config{N: 60, AvgDegree: 6}, rng)
+	if err != nil {
+		t.Fatalf("generate network: %v", err)
+	}
+	cases := []struct {
+		mk       func() sim.Protocol
+		forward  int
+		receipts int
+		finish   float64
+	}{
+		{protocol.Flooding, 60, 360, 9},
+		{func() sim.Protocol { return protocol.Generic(protocol.TimingFirstReceipt) }, 23, 165, 9},
+		{func() sim.Protocol { return protocol.Generic(protocol.TimingBackoffRandom) }, 23, 164, 39.55937709797369},
+		{protocol.AHBP, 37, 253, 9},
+	}
+	for _, c := range cases {
+		p := c.mk()
+		res, err := sim.Run(net.G, 0, p, sim.Config{Hops: 2, Metric: view.MetricDegree, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		t.Logf("%s: forward=%d delivered=%d copies=%d receipts=%d finish=%v",
+			p.Name(), len(res.Forward), res.Delivered, res.Copies, res.Receipts, res.Finish)
+		if res.Delivered != 60 || res.Copies != res.Receipts {
+			t.Errorf("%s: lossless run must deliver all and conserve copies: %+v", p.Name(), res)
+		}
+		if len(res.Forward) != c.forward || res.Receipts != c.receipts || res.Finish != c.finish {
+			t.Errorf("%s: drifted from golden (forward=%d receipts=%d finish=%v), got %+v",
+				p.Name(), c.forward, c.receipts, c.finish, res)
+		}
+	}
+}

@@ -117,6 +117,15 @@ type Result struct {
 	// Retransmits counts recovery retransmissions sent (a subset of
 	// Copies).
 	Retransmits int
+	// QueueDrops counts packets dropped from contention-MAC transmit
+	// queues (capacity overflow, or a queue wiped when its node went
+	// down). Queued packets never became transmitted copies, so queue
+	// drops are outside the Copies conservation identity. Zero without
+	// CarrierSense.
+	QueueDrops int
+	// MACDeferrals counts transmit attempts deferred because carrier sense
+	// found the channel busy. Zero without CarrierSense.
+	MACDeferrals int
 	// Reachable is the number of nodes reachable from the source once the
 	// fault plan's crashed nodes are removed (N when no plan is set).
 	Reachable int
@@ -181,6 +190,21 @@ type Network struct {
 	viewG    *graph.Graph   // topology the views were built from (global-view modes)
 	nodeView []*graph.Graph // per-node view topologies (NodeViews mode, else nil)
 
+	// Multi-session traffic state (RunTraffic; nil/zero for single runs).
+	newProto   func() Protocol // per-session protocol factory
+	multi      []*sessionState // session states indexed by session id
+	tmplViews  []*view.Local   // built views sessions clone their own from
+	delivered  int             // first deliveries across sessions
+	latSamples []float64       // per-session-relative first-delivery latencies
+
+	// Contention-MAC state (CarrierSense; nil/zero otherwise). All slices
+	// are arena scratch, reset per run.
+	busyUntil   []float64 // per transmitter: end of its transmission on the air
+	airEnd      []float64 // per receiver: latest in-flight arrival time
+	garbleUntil []float64 // per receiver: arrivals at or before this are garbled
+	txPending   []bool    // per node: a tx-attempt event is in flight
+	txq         []txRing  // per-node FIFO transmit queues
+
 	receipts        int
 	copies          int
 	lost            int
@@ -190,6 +214,35 @@ type Network struct {
 	timersCancelled int
 	nacks           int
 	retransmits     int
+	queueDrops      int
+	macDeferrals    int
+}
+
+// stateOf returns the bookkeeping state of node v within session sid; single
+// runs (no session table) route to the network-wide node array.
+func (net *Network) stateOf(sid int32, v int) *NodeState {
+	if net.multi == nil {
+		return &net.nodes[v]
+	}
+	return &net.multi[sid].nodes[v]
+}
+
+// protocolOf returns the protocol instance handling session sid.
+func (net *Network) protocolOf(sid int32) Protocol {
+	if net.multi == nil {
+		return net.protocol
+	}
+	return net.multi[sid].proto
+}
+
+// runtimeOf returns the Runtime protocol callbacks of session sid run
+// against: the network itself for single runs, the session's scoped runtime
+// in traffic runs.
+func (net *Network) runtimeOf(sid int32) Runtime {
+	if net.multi == nil {
+		return net
+	}
+	return &net.multi[sid].rt
 }
 
 // Run simulates one broadcast of protocol p from source over g and returns
@@ -237,6 +290,9 @@ func RunWith(a *Arena, g *graph.Graph, source int, p Protocol, cfg Config) (Resu
 	a.ensureLoopScratch(g.N(), net.workers > 1)
 	if net.workers > 1 {
 		net.prepared = a.prepared
+	}
+	if net.Cfg.CarrierSense {
+		net.resetMAC(g.N())
 	}
 	if m := net.Cfg.Metrics; m != nil {
 		m.Reset()
@@ -301,9 +357,7 @@ func (net *Network) deliverToSource() {
 	st.Received = true
 	st.FirstPacket = Packet{Source: net.Source}
 	st.LastPacket = st.FirstPacket
-	if net.Cfg.Observer != nil {
-		net.Cfg.Observer.OnDeliver(net.Source, -1, 0)
-	}
+	net.obsDeliver(0, net.Source, -1)
 	if net.Cfg.Metrics != nil {
 		net.Cfg.Metrics.Latency.Observe(0)
 	}
@@ -357,7 +411,7 @@ func (net *Network) loop() {
 		for _, e := range live {
 			if e.kind == eventReceive && arr[e.node] > 1 {
 				net.collided++
-				net.maybeNACK(e.node, e.receipt.From, e.attempt)
+				net.maybeNACK(e.session, e.node, e.receipt.From, e.attempt)
 				continue
 			}
 			net.dispatch(e)
@@ -409,7 +463,12 @@ func (net *Network) dispatch(e *event) {
 		if net.dropByFault(e) {
 			return
 		}
-		net.handleReceive(e.node, e.receipt, e.attempt, false)
+		if net.Cfg.CarrierSense && net.garbledArrival(e.node) {
+			net.collided++
+			net.maybeNACK(e.session, e.node, e.receipt.From, e.attempt)
+			return
+		}
+		net.handleReceive(e.session, e.node, e.receipt, e.attempt, false)
 	case eventTimer:
 		if net.down(e.node) {
 			// A down node loses its pending decision timers: a crashed
@@ -418,11 +477,15 @@ func (net *Network) dispatch(e *event) {
 			net.timersCancelled++
 			return
 		}
-		net.protocol.OnTimer(net, e.node)
+		net.protocolOf(e.session).OnTimer(net.runtimeOf(e.session), e.node)
 	case eventNACK:
 		net.handleNACK(e)
 	case eventRetransmit:
 		net.handleRetransmit(e)
+	case eventSessionStart:
+		net.startSession(e.session, e.node)
+	case eventTxAttempt:
+		net.txAttempt(e.node)
 	}
 }
 
@@ -450,7 +513,7 @@ func (net *Network) dropByFault(e *event) bool {
 // (see precompute); everything order-sensitive — RNG draws, counters,
 // observers, receipt bookkeeping, the protocol callback — still runs here, in
 // event order.
-func (net *Network) handleReceive(v int, r Receipt, attempt int, merged bool) {
+func (net *Network) handleReceive(sid int32, v int, r Receipt, attempt int, merged bool) {
 	if debugChecks && net.down(v) {
 		panic(fmt.Sprintf("sim: delivery dispatched to down node %d at %v", v, net.now))
 	}
@@ -458,23 +521,34 @@ func (net *Network) handleReceive(v int, r Receipt, attempt int, merged bool) {
 		net.lost++
 		// The receiver detected a garbled transmission it could not
 		// decode: with recovery enabled it asks the sender to retry.
-		net.maybeNACK(v, r.From, attempt)
+		net.maybeNACK(sid, v, r.From, attempt)
 		return
 	}
 	net.receipts++
-	if net.Cfg.Observer != nil {
-		net.Cfg.Observer.OnDeliver(v, r.From, net.now)
-	}
-	st := &net.nodes[v]
+	net.obsDeliver(sid, v, r.From)
+	st := net.stateOf(sid, v)
 	first := st.RecordReceipt(r)
-	if first && net.Cfg.Metrics != nil {
-		net.Cfg.Metrics.Latency.Observe(net.now)
+	if first {
+		if net.multi != nil {
+			// Multi-session latency is relative to the session's injection
+			// time; exact samples feed the traffic quantiles.
+			s := net.multi[sid]
+			s.delivered++
+			net.delivered++
+			lat := net.now - s.start
+			net.latSamples = append(net.latSamples, lat)
+			if net.Cfg.Metrics != nil {
+				net.Cfg.Metrics.Latency.Observe(lat)
+			}
+		} else if net.Cfg.Metrics != nil {
+			net.Cfg.Metrics.Latency.Observe(net.now)
+		}
 	}
 
 	if !merged {
 		net.mergeReceipt(st, v, r)
 	}
-	net.protocol.OnReceive(net, v, r)
+	net.protocolOf(sid).OnReceive(net.runtimeOf(sid), v, r)
 }
 
 // mergeReceipt merges a copy's broadcast state into v's local view (see the
@@ -490,8 +564,8 @@ func (net *Network) mergeReceipt(st *NodeState, v int, r Receipt) {
 // detect; a down node or link leaves nothing to overhear). attempt is the
 // retry number of the dropped copy; the request asks for attempt+1, bounded
 // by the retry budget. Receivers that already hold the packet do not bother.
-func (net *Network) maybeNACK(v, from, attempt int) {
-	if !net.Cfg.NACKRecovery || net.nodes[v].Received {
+func (net *Network) maybeNACK(sid int32, v, from, attempt int) {
+	if !net.Cfg.NACKRecovery || net.stateOf(sid, v).Received {
 		return
 	}
 	next := attempt + 1
@@ -507,6 +581,7 @@ func (net *Network) maybeNACK(v, from, attempt int) {
 		node:    from,
 		peer:    v,
 		attempt: next,
+		session: sid,
 	})
 }
 
@@ -537,6 +612,18 @@ func (net *Network) handleNACK(e *event) {
 		return
 	}
 	delay := retryBackoffDelay(net.Cfg.RetryBackoff, e.attempt)
+	if net.Cfg.CarrierSense {
+		// Hidden terminals cannot sense each other, so symmetric recovery
+		// chains with identical deterministic backoffs would retry in
+		// lockstep and re-collide forever. Classic binary exponential
+		// backoff: spread the retry by a random whole-slot count within a
+		// window that doubles per attempt.
+		exp := e.attempt
+		if exp > maxRetryExponent {
+			exp = maxRetryExponent
+		}
+		delay += float64(net.rngs.mac.Intn(1<<uint(exp))) * net.Cfg.TransmitDelay
+	}
 	net.seq++
 	net.pushEvent(event{
 		at:      net.now + delay,
@@ -545,6 +632,7 @@ func (net *Network) handleNACK(e *event) {
 		node:    u,
 		peer:    e.peer,
 		attempt: e.attempt,
+		session: e.session,
 	})
 }
 
@@ -553,7 +641,21 @@ func (net *Network) handleNACK(e *event) {
 // any other copy.
 func (net *Network) handleRetransmit(e *event) {
 	u := e.node
-	if net.down(u) || !net.nodes[u].Sent {
+	st := net.stateOf(e.session, u)
+	if net.down(u) || !st.Sent {
+		return
+	}
+	if net.Cfg.CarrierSense {
+		// Under the contention MAC the recovery copy shares the radio:
+		// it queues behind the node's pending broadcasts, waits for a
+		// clear channel, and can itself collide — so recovery is
+		// exercised under the same contention that caused the drop.
+		net.enqueueTx(u, txItem{
+			session: e.session,
+			pkt:     st.sentPkt,
+			to:      e.peer,
+			attempt: e.attempt,
+		})
 		return
 	}
 	arrive := net.now + net.Cfg.TransmitDelay
@@ -573,9 +675,10 @@ func (net *Network) handleRetransmit(e *event) {
 		receipt: Receipt{
 			From:   u,
 			At:     arrive,
-			Packet: net.nodes[u].sentPkt,
+			Packet: st.sentPkt,
 		},
 		attempt: e.attempt,
+		session: e.session,
 	})
 }
 
@@ -600,6 +703,8 @@ func (net *Network) result() Result {
 		TimersCancelled: net.timersCancelled,
 		NACKs:           net.nacks,
 		Retransmits:     net.retransmits,
+		QueueDrops:      net.queueDrops,
+		MACDeferrals:    net.macDeferrals,
 	}
 	if net.plan == nil {
 		// No faults: every node is reachable (or at least scored; a
@@ -637,6 +742,8 @@ func (net *Network) result() Result {
 		m.TimersCancelled = res.TimersCancelled
 		m.NACKs = res.NACKs
 		m.Retransmits = res.Retransmits
+		m.QueueDrops = res.QueueDrops
+		m.MACDeferrals = res.MACDeferrals
 		m.Reachable = res.Reachable
 		m.DeliveredReachable = res.DeliveredReachable
 		m.Finish = res.Finish
@@ -741,8 +848,8 @@ func (net *Network) MarkNonForward(v int) {
 		panic(fmt.Sprintf("sim: conservative-fallback node %d took non-forward status", v))
 	}
 	st := &net.nodes[v]
-	if !st.NonForward && net.Cfg.Observer != nil {
-		net.Cfg.Observer.OnNonForward(v, net.now)
+	if !st.NonForward {
+		net.obsNonForward(0, v)
 	}
 	st.NonForward = true
 }
@@ -758,16 +865,36 @@ func (net *Network) Transmit(v int, designated []int) {
 // TransmitExtra is Transmit with a protocol-specific extra payload attached
 // to the packet.
 func (net *Network) TransmitExtra(v int, designated, extra []int) {
-	st := &net.nodes[v]
+	net.transmitExtra(0, v, designated, extra)
+}
+
+// transmitExtra is the session-aware transmit path shared by the network's
+// own Runtime surface (session 0) and the per-session runtimes of traffic
+// runs. Under the contention MAC the packet is handed to the node's transmit
+// queue instead of going on the air immediately.
+func (net *Network) transmitExtra(sid int32, v int, designated, extra []int) {
+	st := net.stateOf(sid, v)
 	if st.Sent || net.down(v) {
 		return
 	}
 	st.Sent = true
 	st.View.MarkVisited(v)
-	net.forward = append(net.forward, v)
-	if net.Cfg.Observer != nil {
-		net.Cfg.Observer.OnTransmit(v, net.now, designated)
+	if net.Cfg.CarrierSense {
+		// The forward decision is final (Sent above), but the packet is
+		// built now and transmitted by the MAC when the channel allows:
+		// forward-order bookkeeping, observers, and metrics fire at actual
+		// transmission time (see emitTx).
+		pkt := st.BuildForwardPacket(designated, extra, net.Cfg.PiggybackDepth)
+		net.enqueueTx(v, txItem{
+			session:    sid,
+			pkt:        pkt,
+			designated: append([]int(nil), designated...),
+			to:         -1,
+		})
+		return
 	}
+	net.forward = append(net.forward, v)
+	net.obsTransmit(sid, v, designated)
 	if net.Cfg.Metrics != nil {
 		net.Cfg.Metrics.ForwardSet.Observe(float64(len(designated)))
 	}
@@ -792,6 +919,7 @@ func (net *Network) TransmitExtra(v int, designated, extra []int) {
 				At:     arrive,
 				Packet: pkt,
 			},
+			session: sid,
 		})
 	})
 }

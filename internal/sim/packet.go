@@ -14,6 +14,11 @@ type TrailEntry struct {
 type Packet struct {
 	// Source is the broadcast originator.
 	Source int
+	// Session is the broadcast session id the packet belongs to (0 outside
+	// multi-session traffic runs). BuildForwardPacket propagates it from
+	// the delivered copy, so forwards and recovery retransmissions stay
+	// tagged end to end.
+	Session int
 	// Trail lists the h most recently visited nodes, oldest first; the last
 	// entry is the transmitting node itself.
 	Trail []TrailEntry

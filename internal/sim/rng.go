@@ -18,6 +18,7 @@ type streams struct {
 	jitter  *rand.Rand // per-transmission forwarding jitter
 	loss    *rand.Rand // per-receipt loss draws
 	fault   *rand.Rand // fault/recovery-layer draws (retry jitter)
+	mac     *rand.Rand // contention-MAC slotted-backoff draws (CarrierSense)
 }
 
 func newStreams(seed int64) streams {
@@ -26,6 +27,7 @@ func newStreams(seed int64) streams {
 		jitter:  rand.New(rand.NewSource(subSeed(seed, "jitter"))),
 		loss:    rand.New(rand.NewSource(subSeed(seed, "loss"))),
 		fault:   rand.New(rand.NewSource(subSeed(seed, "fault"))),
+		mac:     rand.New(rand.NewSource(subSeed(seed, "mac"))),
 	}
 }
 

@@ -109,9 +109,10 @@ func (st *NodeState) BuildForwardPacket(designated, extra []int, depth int) Pack
 		newTrail = newTrail[len(newTrail)-depth:]
 	}
 	pkt := Packet{
-		Source: st.LastPacket.Source,
-		Trail:  newTrail,
-		Extra:  extra,
+		Source:  st.LastPacket.Source,
+		Session: st.LastPacket.Session,
+		Trail:   newTrail,
+		Extra:   extra,
 	}
 	st.sentPkt = pkt
 	return pkt

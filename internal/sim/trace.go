@@ -22,6 +22,119 @@ type Observer interface {
 	OnNonForward(v int, at float64)
 }
 
+// SessionObserver is the optional extension of Observer for multi-session
+// traffic runs and the contention MAC. An Observer that also implements it
+// receives the broadcast session id on every callback plus the MAC queue
+// events; a plain Observer attached to such a run still works and simply
+// sees the session-blind callbacks. In single runs every event carries
+// session 0, so a SessionObserver records traces byte-identical to before.
+type SessionObserver interface {
+	Observer
+	// OnSessionStart fires when a broadcast session is injected at its
+	// source.
+	OnSessionStart(session, source int, at float64)
+	// OnSessionTransmit is OnTransmit with the session id.
+	OnSessionTransmit(session, v int, at float64, designated []int)
+	// OnSessionDeliver is OnDeliver with the session id.
+	OnSessionDeliver(session, v, from int, at float64)
+	// OnSessionNonForward is OnNonForward with the session id.
+	OnSessionNonForward(session, v int, at float64)
+	// OnEnqueue fires when the contention MAC admits a packet to node v's
+	// transmit queue.
+	OnEnqueue(session, v int, at float64)
+	// OnQueueDrop fires when the contention MAC drops a queued packet at
+	// node v.
+	OnQueueDrop(session, v int, at float64, cause QueueDropCause)
+}
+
+// QueueDropCause labels why the contention MAC dropped a queued packet.
+type QueueDropCause int
+
+// Queue-drop causes.
+const (
+	// QueueDropTail: the arriving packet was dropped because the queue was
+	// full (the default tail-drop policy).
+	QueueDropTail QueueDropCause = iota + 1
+	// QueueDropHead: the oldest queued packet was evicted to admit a new
+	// arrival (Config.DropOldest).
+	QueueDropHead
+	// QueueDropDown: the queue was wiped because its node went down.
+	QueueDropDown
+)
+
+// String returns the cause name used in exported traces.
+func (c QueueDropCause) String() string {
+	switch c {
+	case QueueDropTail:
+		return "tail"
+	case QueueDropHead:
+		return "head"
+	case QueueDropDown:
+		return "down"
+	default:
+		return "unknown"
+	}
+}
+
+// obsDeliver, obsTransmit, obsNonForward, obsSessionStart, obsEnqueue, and
+// obsQueueDrop route simulation events to the configured observer, using the
+// session-aware callbacks when the observer supports them and degrading to
+// the session-blind Observer surface (dropping MAC-only events) otherwise.
+
+func (net *Network) obsDeliver(sid int32, v, from int) {
+	o := net.Cfg.Observer
+	if o == nil {
+		return
+	}
+	if so, ok := o.(SessionObserver); ok {
+		so.OnSessionDeliver(int(sid), v, from, net.now)
+		return
+	}
+	o.OnDeliver(v, from, net.now)
+}
+
+func (net *Network) obsTransmit(sid int32, v int, designated []int) {
+	o := net.Cfg.Observer
+	if o == nil {
+		return
+	}
+	if so, ok := o.(SessionObserver); ok {
+		so.OnSessionTransmit(int(sid), v, net.now, designated)
+		return
+	}
+	o.OnTransmit(v, net.now, designated)
+}
+
+func (net *Network) obsNonForward(sid int32, v int) {
+	o := net.Cfg.Observer
+	if o == nil {
+		return
+	}
+	if so, ok := o.(SessionObserver); ok {
+		so.OnSessionNonForward(int(sid), v, net.now)
+		return
+	}
+	o.OnNonForward(v, net.now)
+}
+
+func (net *Network) obsSessionStart(sid int32, source int) {
+	if so, ok := net.Cfg.Observer.(SessionObserver); ok {
+		so.OnSessionStart(int(sid), source, net.now)
+	}
+}
+
+func (net *Network) obsEnqueue(sid int32, v int) {
+	if so, ok := net.Cfg.Observer.(SessionObserver); ok {
+		so.OnEnqueue(int(sid), v, net.now)
+	}
+}
+
+func (net *Network) obsQueueDrop(sid int32, v int, cause QueueDropCause) {
+	if so, ok := net.Cfg.Observer.(SessionObserver); ok {
+		so.OnQueueDrop(int(sid), v, net.now, cause)
+	}
+}
+
 // TraceEventKind labels recorded trace events.
 type TraceEventKind int
 
@@ -30,6 +143,9 @@ const (
 	TraceTransmit TraceEventKind = iota + 1
 	TraceDeliver
 	TraceNonForward
+	TraceSessionStart
+	TraceEnqueue
+	TraceQueueDrop
 )
 
 // String returns a short event-kind name.
@@ -41,6 +157,12 @@ func (k TraceEventKind) String() string {
 		return "deliver"
 	case TraceNonForward:
 		return "non-forward"
+	case TraceSessionStart:
+		return "session-start"
+	case TraceEnqueue:
+		return "enqueue"
+	case TraceQueueDrop:
+		return "queue-drop"
 	default:
 		return "unknown"
 	}
@@ -56,36 +178,84 @@ type TraceEvent struct {
 	Node int
 	// From is the sender for deliver events (-1 otherwise).
 	From int
+	// Session is the broadcast session id (0 outside multi-session runs).
+	Session int
+	// Cause labels queue-drop events (zero QueueDropCause otherwise).
+	Cause QueueDropCause
 	// Designated carries the designated forward set for transmit events.
 	Designated []int
 }
 
-// Recorder is an Observer that collects every event in order.
+// Recorder is an Observer that collects every event in order. It also
+// implements SessionObserver, so multi-session traffic runs and contention-MAC
+// runs record session ids and queue events; in single runs every recorded
+// event carries session 0 and the trace is identical to the session-blind one.
 type Recorder struct {
 	events []TraceEvent
 }
 
-var _ Observer = (*Recorder)(nil)
+var _ SessionObserver = (*Recorder)(nil)
 
 // OnTransmit implements Observer.
 func (r *Recorder) OnTransmit(v int, at float64, designated []int) {
+	r.OnSessionTransmit(0, v, at, designated)
+}
+
+// OnDeliver implements Observer.
+func (r *Recorder) OnDeliver(v, from int, at float64) {
+	r.OnSessionDeliver(0, v, from, at)
+}
+
+// OnNonForward implements Observer.
+func (r *Recorder) OnNonForward(v int, at float64) {
+	r.OnSessionNonForward(0, v, at)
+}
+
+// OnSessionStart implements SessionObserver.
+func (r *Recorder) OnSessionStart(session, source int, at float64) {
+	r.events = append(r.events, TraceEvent{
+		Kind: TraceSessionStart, At: at, Node: source, From: -1, Session: session,
+	})
+}
+
+// OnSessionTransmit implements SessionObserver.
+func (r *Recorder) OnSessionTransmit(session, v int, at float64, designated []int) {
 	r.events = append(r.events, TraceEvent{
 		Kind:       TraceTransmit,
 		At:         at,
 		Node:       v,
 		From:       -1,
+		Session:    session,
 		Designated: append([]int(nil), designated...),
 	})
 }
 
-// OnDeliver implements Observer.
-func (r *Recorder) OnDeliver(v, from int, at float64) {
-	r.events = append(r.events, TraceEvent{Kind: TraceDeliver, At: at, Node: v, From: from})
+// OnSessionDeliver implements SessionObserver.
+func (r *Recorder) OnSessionDeliver(session, v, from int, at float64) {
+	r.events = append(r.events, TraceEvent{
+		Kind: TraceDeliver, At: at, Node: v, From: from, Session: session,
+	})
 }
 
-// OnNonForward implements Observer.
-func (r *Recorder) OnNonForward(v int, at float64) {
-	r.events = append(r.events, TraceEvent{Kind: TraceNonForward, At: at, Node: v, From: -1})
+// OnSessionNonForward implements SessionObserver.
+func (r *Recorder) OnSessionNonForward(session, v int, at float64) {
+	r.events = append(r.events, TraceEvent{
+		Kind: TraceNonForward, At: at, Node: v, From: -1, Session: session,
+	})
+}
+
+// OnEnqueue implements SessionObserver.
+func (r *Recorder) OnEnqueue(session, v int, at float64) {
+	r.events = append(r.events, TraceEvent{
+		Kind: TraceEnqueue, At: at, Node: v, From: -1, Session: session,
+	})
+}
+
+// OnQueueDrop implements SessionObserver.
+func (r *Recorder) OnQueueDrop(session, v int, at float64, cause QueueDropCause) {
+	r.events = append(r.events, TraceEvent{
+		Kind: TraceQueueDrop, At: at, Node: v, From: -1, Session: session, Cause: cause,
+	})
 }
 
 // Events returns the recorded events in occurrence order. The events are
@@ -123,13 +293,18 @@ func cloneEvent(e TraceEvent) TraceEvent {
 func (r *Recorder) Records() []obsv.TraceEvent {
 	out := make([]obsv.TraceEvent, len(r.events))
 	for i, e := range r.events {
-		out[i] = obsv.TraceEvent{
+		rec := obsv.TraceEvent{
 			Kind:       e.Kind.String(),
 			At:         e.At,
 			Node:       e.Node,
 			From:       e.From,
+			Session:    e.Session,
 			Designated: append([]int(nil), e.Designated...),
 		}
+		if e.Cause != 0 {
+			rec.Cause = e.Cause.String()
+		}
+		out[i] = rec
 	}
 	return out
 }
@@ -151,24 +326,36 @@ func (r *Recorder) DeliveryTimes() map[int]float64 {
 }
 
 // Format renders the trace as one line per event, for logs and debugging.
+// Events of session 0 render exactly as single-run traces always did; higher
+// sessions carry an [s=N] tag.
 func (r *Recorder) Format() string {
 	var b strings.Builder
 	for _, e := range r.events {
+		tag := ""
+		if e.Session > 0 {
+			tag = fmt.Sprintf(" [s=%d]", e.Session)
+		}
 		switch e.Kind {
 		case TraceTransmit:
 			if len(e.Designated) > 0 {
-				fmt.Fprintf(&b, "t=%6.2f  node %3d transmits, designating %v\n", e.At, e.Node, e.Designated)
+				fmt.Fprintf(&b, "t=%6.2f  node %3d transmits, designating %v%s\n", e.At, e.Node, e.Designated, tag)
 			} else {
-				fmt.Fprintf(&b, "t=%6.2f  node %3d transmits\n", e.At, e.Node)
+				fmt.Fprintf(&b, "t=%6.2f  node %3d transmits%s\n", e.At, e.Node, tag)
 			}
 		case TraceDeliver:
 			if e.From < 0 {
-				fmt.Fprintf(&b, "t=%6.2f  node %3d holds the packet (source)\n", e.At, e.Node)
+				fmt.Fprintf(&b, "t=%6.2f  node %3d holds the packet (source)%s\n", e.At, e.Node, tag)
 			} else {
-				fmt.Fprintf(&b, "t=%6.2f  node %3d receives from %d\n", e.At, e.Node, e.From)
+				fmt.Fprintf(&b, "t=%6.2f  node %3d receives from %d%s\n", e.At, e.Node, e.From, tag)
 			}
 		case TraceNonForward:
-			fmt.Fprintf(&b, "t=%6.2f  node %3d takes non-forward status\n", e.At, e.Node)
+			fmt.Fprintf(&b, "t=%6.2f  node %3d takes non-forward status%s\n", e.At, e.Node, tag)
+		case TraceSessionStart:
+			fmt.Fprintf(&b, "t=%6.2f  node %3d starts broadcast session %d\n", e.At, e.Node, e.Session)
+		case TraceEnqueue:
+			fmt.Fprintf(&b, "t=%6.2f  node %3d enqueues a transmission%s\n", e.At, e.Node, tag)
+		case TraceQueueDrop:
+			fmt.Fprintf(&b, "t=%6.2f  node %3d drops a queued transmission (%s)%s\n", e.At, e.Node, e.Cause, tag)
 		}
 	}
 	return b.String()

@@ -1,0 +1,382 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"adhocbcast/internal/core"
+	"adhocbcast/internal/graph"
+)
+
+// Multi-session traffic runs (RunTraffic): many concurrent broadcast sessions
+// share one simulated network and — under Config.CarrierSense — one radio
+// channel per node. Each session gets its own protocol instance, node states,
+// and local views (cloned from the run's built views, so per-session view
+// state costs one meta-array copy per node instead of a BFS), while the MAC
+// queues, the channel, the fault plan, and every RNG stream are shared.
+// docs/traffic-model.md is the normative spec.
+
+// SessionSpec describes one injected broadcast session: Source starts a
+// broadcast at time At. internal/traffic generates deterministic arrival
+// processes of these; the simulator only requires sources in range and
+// non-decreasing injection times.
+type SessionSpec struct {
+	// Source is the broadcast originator.
+	Source int
+	// At is the injection time in simulation slots (>= 0).
+	At float64
+}
+
+// TrafficResult summarizes one multi-session traffic run. Delivery is counted
+// over (session, node) pairs: a run of S sessions over N nodes has S*N
+// deliverable pairs.
+type TrafficResult struct {
+	// Sessions is the number of injected broadcast sessions.
+	Sessions int
+	// N is the network size.
+	N int
+	// Finish is the time of the last event.
+	Finish float64
+	// Delivered counts first deliveries across all sessions (the source's
+	// own possession counts, as in single runs).
+	Delivered int
+	// Forward counts transmissions across all sessions (the Result.Forward
+	// order is not kept per session; the trace has it when needed).
+	Forward int
+	// Copies through Retransmits aggregate the channel accounting over all
+	// sessions, with the same conservation identity as Result: Receipts +
+	// Lost + Collided + DroppedNodeDown + DroppedLinkDown == Copies.
+	Copies          int
+	Receipts        int
+	Lost            int
+	Collided        int
+	DroppedNodeDown int
+	DroppedLinkDown int
+	TimersCancelled int
+	NACKs           int
+	Retransmits     int
+	// QueueDrops and MACDeferrals count contention-MAC activity (zero
+	// without Config.CarrierSense); queue drops are outside the Copies
+	// conservation identity, since queued packets never went on the air.
+	QueueDrops   int
+	MACDeferrals int
+	// LatencyMean, LatencyP50, and LatencyP99 summarize first-delivery
+	// latency relative to each session's injection time, over all delivered
+	// (session, node) pairs. Quantiles are exact (nearest-rank over every
+	// sample), not histogram estimates.
+	LatencyMean float64
+	LatencyP50  float64
+	LatencyP99  float64
+}
+
+// DeliveryRatio returns delivered (session, node) pairs over deliverable
+// ones.
+func (r TrafficResult) DeliveryRatio() float64 {
+	if r.Sessions == 0 || r.N == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / (float64(r.Sessions) * float64(r.N))
+}
+
+// Throughput returns goodput in session-equivalents per slot: total first
+// deliveries normalized by network size, over the run duration. A value of x
+// means the network completed the delivery work of x full broadcasts per
+// slot; under saturation it plateaus while offered load keeps growing.
+func (r TrafficResult) Throughput() float64 {
+	if r.N == 0 || r.Finish <= 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.N) / r.Finish
+}
+
+// FaultDrops returns the total copies dropped by the fault plan.
+func (r TrafficResult) FaultDrops() int { return r.DroppedNodeDown + r.DroppedLinkDown }
+
+// sessionState is the per-session half of a traffic run: its own protocol
+// instance and node bookkeeping over shared topology and channel.
+type sessionState struct {
+	id        int32
+	source    int
+	start     float64 // injection time (session-relative latency origin)
+	proto     Protocol
+	nodes     []NodeState
+	rt        sessionRuntime
+	delivered int
+}
+
+// sessionRuntime is the Runtime protocol callbacks of one session run
+// against: state reads and status writes route to the session's own nodes,
+// transmissions and timers route to the shared network (and, under
+// CarrierSense, the shared MAC queues) tagged with the session id.
+type sessionRuntime struct {
+	net *Network
+	s   *sessionState
+}
+
+var _ Runtime = (*sessionRuntime)(nil)
+
+func (rt *sessionRuntime) N() int { return rt.net.G.N() }
+
+func (rt *sessionRuntime) ForEachLocalNode(yield func(v int)) {
+	for v := 0; v < rt.net.G.N(); v++ {
+		yield(v)
+	}
+}
+
+func (rt *sessionRuntime) State(v int) *NodeState { return &rt.s.nodes[v] }
+
+func (rt *sessionRuntime) SetTimer(v int, delay float64) {
+	net := rt.net
+	if delay < 0 {
+		delay = 0
+	}
+	net.seq++
+	net.pushEvent(event{
+		at:      net.now + delay,
+		seq:     net.seq,
+		kind:    eventTimer,
+		node:    v,
+		session: rt.s.id,
+	})
+}
+
+func (rt *sessionRuntime) MarkNonForward(v int) {
+	net := rt.net
+	if debugChecks && net.ConservativeHold(v) {
+		panic(fmt.Sprintf("sim: conservative-fallback node %d took non-forward status", v))
+	}
+	st := &rt.s.nodes[v]
+	if !st.NonForward {
+		net.obsNonForward(rt.s.id, v)
+	}
+	st.NonForward = true
+}
+
+func (rt *sessionRuntime) Transmit(v int, designated []int) {
+	rt.net.transmitExtra(rt.s.id, v, designated, nil)
+}
+
+func (rt *sessionRuntime) TransmitExtra(v int, designated, extra []int) {
+	rt.net.transmitExtra(rt.s.id, v, designated, extra)
+}
+
+func (rt *sessionRuntime) RandomBackoff() float64 { return rt.net.RandomBackoff() }
+
+func (rt *sessionRuntime) DegreeBackoff(v int) float64 { return rt.net.DegreeBackoff(v) }
+
+func (rt *sessionRuntime) ConservativeHold(v int) bool { return rt.net.ConservativeHold(v) }
+
+// TakePreparedCovered always reports ok=false: the fast engine's timer
+// precompute phase is disabled in traffic runs (verdict slots are per node,
+// not per (session, node)).
+func (rt *sessionRuntime) TakePreparedCovered(v int) (covered, ok bool) { return false, false }
+
+func (rt *sessionRuntime) Evaluator() *core.Evaluator { return rt.net.Evaluator() }
+
+func (rt *sessionRuntime) Now() float64 { return rt.net.now }
+
+// RunTraffic simulates the given broadcast sessions over g, one protocol
+// instance per session built by newProto, and returns the aggregate outcome.
+// Sessions must be ordered by non-decreasing injection time; use
+// internal/traffic to generate deterministic arrival plans.
+func RunTraffic(g *graph.Graph, sessions []SessionSpec, newProto func() Protocol, cfg Config) (TrafficResult, error) {
+	return RunTrafficWith(nil, g, sessions, newProto, cfg)
+}
+
+// RunTrafficWith is RunTraffic with an explicit Arena, with the same reuse
+// contract as RunWith. Per-session node states and views are allocated per
+// run (they are what a session is), but the event queue, built views, MAC
+// scratch, and evaluator are all arena-reused.
+func RunTrafficWith(a *Arena, g *graph.Graph, sessions []SessionSpec, newProto func() Protocol, cfg Config) (TrafficResult, error) {
+	if len(sessions) == 0 {
+		return TrafficResult{}, fmt.Errorf("sim: traffic run needs at least one session")
+	}
+	if newProto == nil {
+		return TrafficResult{}, fmt.Errorf("sim: traffic run needs a protocol factory")
+	}
+	if cfg.NodeViews != nil {
+		return TrafficResult{}, fmt.Errorf("sim: per-node views are not supported in traffic runs")
+	}
+	prev := 0.0
+	for i, sp := range sessions {
+		if sp.Source < 0 || sp.Source >= g.N() {
+			return TrafficResult{}, fmt.Errorf("sim: session %d source %d out of range [0,%d)", i, sp.Source, g.N())
+		}
+		if math.IsNaN(sp.At) || math.IsInf(sp.At, 0) || sp.At < prev {
+			return TrafficResult{}, fmt.Errorf("sim: session %d injection time %v not finite and non-decreasing", i, sp.At)
+		}
+		prev = sp.At
+	}
+	if err := cfg.validate(g.N()); err != nil {
+		return TrafficResult{}, err
+	}
+	if a == nil {
+		a = NewArena()
+	}
+	net := &Network{
+		G:        g,
+		Cfg:      cfg.withDefaults(),
+		Source:   sessions[0].Source,
+		newProto: newProto,
+		arena:    a,
+		rngs:     newStreams(cfg.Seed),
+		plan:     cfg.Faults,
+	}
+	net.fast = net.Cfg.Engine == EngineFast
+	net.workers = 1
+	if net.fast {
+		if net.Cfg.Workers > 1 {
+			net.workers = net.Cfg.Workers
+		}
+		a.cal.reset(net.Cfg.TransmitDelay)
+	}
+	a.ensureLoopScratch(g.N(), net.workers > 1)
+	if net.workers > 1 {
+		net.prepared = a.prepared
+	}
+	if net.Cfg.CarrierSense {
+		net.resetMAC(g.N())
+	}
+	if m := net.Cfg.Metrics; m != nil {
+		m.Reset()
+	}
+	vg := net.G
+	if net.Cfg.ViewTopology != nil {
+		vg = net.Cfg.ViewTopology
+	}
+	net.viewG = vg
+	views, base := a.viewsFor(vg, net.Cfg.Hops, net.Cfg.Metric)
+	net.base = base
+	net.tmplViews = views
+	net.multi = make([]*sessionState, len(sessions))
+	for i, sp := range sessions {
+		net.multi[i] = &sessionState{id: int32(i), source: sp.Source}
+	}
+	for i, sp := range sessions {
+		net.seq++
+		net.pushEvent(event{
+			at:      sp.At,
+			seq:     net.seq,
+			kind:    eventSessionStart,
+			node:    sp.Source,
+			session: int32(i),
+		})
+	}
+	net.loop()
+	return net.trafficResult(), nil
+}
+
+// startSession brings session sid to life at its injection instant: fresh
+// per-session node states and views, a fresh protocol instance, then the
+// usual Init / source-delivery / Start sequence of a single run.
+func (net *Network) startSession(sid int32, source int) {
+	s := net.multi[sid]
+	s.start = net.now
+	n := net.G.N()
+	s.nodes = make([]NodeState, n)
+	for v := range s.nodes {
+		s.nodes[v] = NodeState{
+			ID:        v,
+			FirstFrom: -1,
+			View:      net.tmplViews[v].CloneFresh(),
+		}
+	}
+	s.proto = net.newProto()
+	s.rt = sessionRuntime{net: net, s: s}
+	net.obsSessionStart(sid, source)
+	s.proto.Init(&s.rt)
+	net.deliverSessionSource(s)
+	s.proto.Start(&s.rt, source)
+}
+
+// deliverSessionSource marks the session's source as holding the packet at
+// injection time, mirroring deliverToSource: a zero-latency first delivery.
+func (net *Network) deliverSessionSource(s *sessionState) {
+	st := &s.nodes[s.source]
+	st.Received = true
+	st.FirstPacket = Packet{Source: s.source, Session: int(s.id)}
+	st.LastPacket = st.FirstPacket
+	s.delivered++
+	net.delivered++
+	net.latSamples = append(net.latSamples, 0)
+	net.obsDeliver(s.id, s.source, -1)
+	if net.Cfg.Metrics != nil {
+		net.Cfg.Metrics.Latency.Observe(0)
+	}
+}
+
+func (net *Network) trafficResult() TrafficResult {
+	res := TrafficResult{
+		Sessions:        len(net.multi),
+		N:               net.G.N(),
+		Finish:          net.now,
+		Delivered:       net.delivered,
+		Forward:         len(net.forward),
+		Copies:          net.copies,
+		Receipts:        net.receipts,
+		Lost:            net.lost,
+		Collided:        net.collided,
+		DroppedNodeDown: net.droppedNodeDown,
+		DroppedLinkDown: net.droppedLinkDown,
+		TimersCancelled: net.timersCancelled,
+		NACKs:           net.nacks,
+		Retransmits:     net.retransmits,
+		QueueDrops:      net.queueDrops,
+		MACDeferrals:    net.macDeferrals,
+	}
+	if debugChecks {
+		if got := res.Receipts + res.Lost + res.Collided + res.FaultDrops(); got != res.Copies {
+			panic(fmt.Sprintf("sim: traffic drop accounting broken: receipts %d + lost %d + collided %d + faultDrops %d != copies %d",
+				res.Receipts, res.Lost, res.Collided, res.FaultDrops(), res.Copies))
+		}
+	}
+	if len(net.latSamples) > 0 {
+		sorted := append([]float64(nil), net.latSamples...)
+		sort.Float64s(sorted)
+		sum := 0.0
+		for _, x := range sorted {
+			sum += x
+		}
+		res.LatencyMean = sum / float64(len(sorted))
+		res.LatencyP50 = quantileNearestRank(sorted, 0.50)
+		res.LatencyP99 = quantileNearestRank(sorted, 0.99)
+	}
+	if m := net.Cfg.Metrics; m != nil {
+		m.N = res.N
+		m.Sessions = res.Sessions
+		m.Delivered = res.Delivered
+		m.Forward = res.Forward
+		m.Copies = res.Copies
+		m.Receipts = res.Receipts
+		m.Lost = res.Lost
+		m.Collided = res.Collided
+		m.DroppedNodeDown = res.DroppedNodeDown
+		m.DroppedLinkDown = res.DroppedLinkDown
+		m.TimersCancelled = res.TimersCancelled
+		m.NACKs = res.NACKs
+		m.Retransmits = res.Retransmits
+		m.QueueDrops = res.QueueDrops
+		m.MACDeferrals = res.MACDeferrals
+		// Deliverability in traffic runs is over (session, node) pairs; the
+		// fault plan's reachability analysis is per injection instant, so the
+		// record scores against the full pair count.
+		m.Reachable = res.Sessions * res.N
+		m.DeliveredReachable = res.Delivered
+		m.Finish = res.Finish
+	}
+	return res
+}
+
+// quantileNearestRank returns the nearest-rank q-quantile of an ascending
+// sample slice (q in (0, 1]).
+func quantileNearestRank(sorted []float64, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

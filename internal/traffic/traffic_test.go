@@ -1,0 +1,132 @@
+package traffic
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestPoissonDeterministic(t *testing.T) {
+	cfg := Config{N: 50, Rate: 0.05, Horizon: 200, Seed: 7}
+	a, err := Poisson(cfg)
+	if err != nil {
+		t.Fatalf("poisson: %v", err)
+	}
+	b, err := Poisson(cfg)
+	if err != nil {
+		t.Fatalf("poisson: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same config produced different plans")
+	}
+	if err := a.Validate(50); err != nil {
+		t.Fatalf("generated plan invalid: %v", err)
+	}
+	if a.Sessions() == 0 {
+		t.Fatalf("plan has no sessions (rate %v over horizon %v)", cfg.Rate, cfg.Horizon)
+	}
+}
+
+func TestPoissonRateSanity(t *testing.T) {
+	// 8 sources at 0.1 msg/slot over 2000 slots: expect ~1600 messages.
+	cfg := Config{N: 100, Sources: 8, Rate: 0.1, Horizon: 2000, Seed: 3}
+	p, err := Poisson(cfg)
+	if err != nil {
+		t.Fatalf("poisson: %v", err)
+	}
+	got := float64(p.Sessions())
+	want := 8 * 0.1 * 2000
+	if got < 0.8*want || got > 1.2*want {
+		t.Fatalf("got %v messages, want within 20%% of %v", got, want)
+	}
+	if load := p.OfferedLoad(); math.Abs(load-got/2000) > 1e-12 {
+		t.Fatalf("offered load %v, want %v", load, got/2000)
+	}
+}
+
+func TestSourceStreamsIndependent(t *testing.T) {
+	// Adding sources must not shift the arrivals of existing sources.
+	narrow, err := Poisson(Config{N: 20, Sources: 20, Rate: 0.02, Horizon: 500, Seed: 9})
+	if err != nil {
+		t.Fatalf("poisson: %v", err)
+	}
+	perSource := map[int][]float64{}
+	for _, m := range narrow.Messages {
+		perSource[m.Source] = append(perSource[m.Source], m.At)
+	}
+	// Regenerate with the same seed; every source must reproduce its times.
+	again, err := Poisson(Config{N: 20, Sources: 20, Rate: 0.02, Horizon: 500, Seed: 9})
+	if err != nil {
+		t.Fatalf("poisson: %v", err)
+	}
+	perSource2 := map[int][]float64{}
+	for _, m := range again.Messages {
+		perSource2[m.Source] = append(perSource2[m.Source], m.At)
+	}
+	if !reflect.DeepEqual(perSource, perSource2) {
+		t.Fatalf("per-source arrival streams not reproducible")
+	}
+}
+
+func TestBurstsStructure(t *testing.T) {
+	cfg := Config{N: 30, Sources: 2, Rate: 0.1, Horizon: 1000, Seed: 5, Burst: 3}
+	p, err := Bursts(cfg)
+	if err != nil {
+		t.Fatalf("bursts: %v", err)
+	}
+	if err := p.Validate(30); err != nil {
+		t.Fatalf("burst plan invalid: %v", err)
+	}
+	if p.Sessions()%3 != 0 {
+		t.Fatalf("burst plan has %d messages, want a multiple of burst size 3", p.Sessions())
+	}
+	// Messages of one epoch share a time: count run lengths of equal
+	// (source, time) pairs.
+	runs := map[int]int{}
+	i := 0
+	for i < len(p.Messages) {
+		j := i
+		for j < len(p.Messages) && p.Messages[j].Source == p.Messages[i].Source && p.Messages[j].At == p.Messages[i].At {
+			j++
+		}
+		runs[j-i]++
+		i = j
+	}
+	if len(runs) != 1 || runs[3] == 0 {
+		t.Fatalf("epoch run lengths %v, want all runs of length 3", runs)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{N: 0, Rate: 0.1, Horizon: 10},
+		{N: 10, Sources: 11, Rate: 0.1, Horizon: 10},
+		{N: 10, Rate: 0, Horizon: 10},
+		{N: 10, Rate: math.NaN(), Horizon: 10},
+		{N: 10, Rate: 0.1, Horizon: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := Poisson(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted, want error", i, cfg)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{Messages: nil, Horizon: 10},
+		{Messages: []Message{{Session: 1, Source: 0, At: 0}}, Horizon: 10},
+		{Messages: []Message{{Session: 0, Source: 9, At: 0}}, Horizon: 10},
+		{Messages: []Message{{Session: 0, Source: 0, At: 5}, {Session: 1, Source: 0, At: 1}}, Horizon: 10},
+		{Messages: []Message{{Session: 0, Source: 0, At: 0}}, Horizon: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(5); err == nil {
+			t.Errorf("case %d: plan accepted, want error", i)
+		}
+	}
+	good := Plan{Messages: []Message{{Session: 0, Source: 1, At: 0}, {Session: 1, Source: 0, At: 2.5}}, Horizon: 10}
+	if err := good.Validate(5); err != nil {
+		t.Errorf("valid plan rejected: %v", err)
+	}
+}

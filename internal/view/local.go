@@ -177,6 +177,23 @@ func (lv *Local) IsVisited(v int) bool {
 	return i >= 0 && lv.StatusAt(i) == Visited
 }
 
+// CloneFresh returns an independent copy of the view with every status
+// override cleared, sharing the immutable topology, base priorities, and
+// member list with the original. Cloning costs one meta-array copy instead
+// of a bounded BFS, which is what makes per-session views affordable in
+// multi-session traffic runs: each broadcast session clones the run's built
+// views and marks its own visited/designated state without touching the
+// originals.
+func (lv *Local) CloneFresh() *Local {
+	meta := make([]uint8, len(lv.meta))
+	for i, m := range lv.meta {
+		meta[i] = m &^ metaStatusMask
+	}
+	cp := *lv
+	cp.meta = meta
+	return &cp
+}
+
 // ResetStatus clears every status override, returning the view to its
 // freshly built state (fringe information is topological and kept). Used to
 // recycle views across runs that share a topology.
