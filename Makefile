@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race check-docs bench bench-compare bench-full figures table1 sample fuzz fuzz-smoke soak-smoke grid grid-smoke clean
+.PHONY: all build test test-race check-docs bench bench-compare bench-full figures table1 sample fuzz fuzz-smoke soak-smoke chaos-smoke grid grid-smoke clean
 
 all: build test
 
@@ -98,6 +98,14 @@ fuzz-smoke:
 # count; the full 200-broadcast soak runs without it.
 soak-smoke:
 	$(GO) test -race -short ./internal/runtime/soak/
+
+# CI-sized process-kill chaos harness under the race detector: real bcastnode
+# processes over UDP, SIGKILL/restart on a seed-deterministic schedule,
+# journal replay and dynamic-hello rejoin asserted (see docs/recovery.md).
+# -short trims the kill and broadcast counts; the full soak (200 broadcasts,
+# 30+ kills) runs without it.
+chaos-smoke:
+	$(GO) test -race -short ./internal/runtime/chaos/
 
 clean:
 	$(GO) clean ./...

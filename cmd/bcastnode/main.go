@@ -20,7 +20,8 @@
 //
 //	bcastnode -proto generic-fr -hops 2                       # stdin/stdout
 //	bcastnode -udp :7001 -peers n0=10.0.0.1:7001,n2=... -recovery
-//	bcastnode -udp :7001 -peers ... -rate 0.01                # self-injecting traffic source
+//	bcastnode -udp :7001 -peers ... -rate 0.01 -horizon 400   # self-injecting traffic source
+//	bcastnode -udp :0 -journal state -hello-interval 5        # crash-recoverable node
 //
 // With -rate every node becomes a traffic source: after the first topology it
 // replays its own per-source stream of the shared deterministic traffic plan
@@ -32,8 +33,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -69,8 +72,15 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", 1, "seed of the node's private backoff streams")
 		rate      = fs.Float64("rate", 0, "self-inject broadcast sessions at this per-node Poisson rate (messages per time unit); 0 disables the generator")
 		horizon   = fs.Float64("horizon", 400, "traffic generation horizon in time units for -rate")
+		journal   = fs.String("journal", "", "write-ahead journal directory for crash recovery; the node journals to <dir>/<name>.journal and replays it on restart")
+		helloInt  = fs.Float64("hello-interval", 0, "dynamic hello beacon interval in time units; 0 disables beacons and rejoin maintenance")
+		helloExp  = fs.Float64("hello-expiry", 0, "staleness expiry of a neighbor's hello clock in time units (default 3x the interval)")
+		helloLoss = fs.Float64("hello-loss", 0, "independent per-beacon loss probability in [0,1), drawn from the seed's pure hash schedule")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := validateFlags(fs); err != nil {
 		return err
 	}
 	mk, ok := protocol.ByName(*proto)
@@ -91,6 +101,10 @@ func run(args []string) error {
 		Seed:           *seed,
 		Rate:           *rate,
 		TrafficHorizon: *horizon,
+		JournalDir:     *journal,
+		HelloInterval:  *helloInt,
+		HelloExpiry:    *helloExp,
+		HelloLossRate:  *helloLoss,
 	}
 
 	var w wire
@@ -108,6 +122,10 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		// The bound address (with the kernel-chosen port for ":0") goes to
+		// stdout, which UDP mode otherwise never writes: a supervisor
+		// respawning nodes on ephemeral ports reads it to rewire peers.
+		fmt.Printf("udp %s\n", conn.LocalAddr())
 		w = newUDPWire(conn, peerAddrs)
 	} else {
 		var fr framer
@@ -127,6 +145,87 @@ func run(args []string) error {
 		return err
 	}
 	return node.Run()
+}
+
+// validateFlags rejects invalid values and mutually-exclusive combinations up
+// front, before any socket is bound or journal opened, so a misconfigured
+// node dies with a descriptive error instead of limping or hanging. "Set"
+// means explicitly passed on the command line (fs.Visit), so defaulted values
+// never trip a combination check.
+func validateFlags(fs *flag.FlagSet) error {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	get := func(name string) string { return fs.Lookup(name).Value.String() }
+	getF := func(name string) float64 {
+		v, _ := strconv.ParseFloat(get(name), 64)
+		return v
+	}
+
+	if set["peers"] && !set["udp"] {
+		return fmt.Errorf("-peers requires -udp: stdio framing has no peer addresses (the harness routes envelopes)")
+	}
+	if set["framing"] && set["udp"] {
+		return fmt.Errorf("-framing and -udp are mutually exclusive: UDP sends one datagram per envelope and does not frame a stream")
+	}
+	if set["retry-budget"] && !set["recovery"] {
+		return fmt.Errorf("-retry-budget requires -recovery: without the NACK recovery layer there are no retransmissions to budget")
+	}
+	if ts, err := time.ParseDuration(get("timescale")); err != nil || ts <= 0 {
+		return fmt.Errorf("-timescale must be a positive duration, got %s", get("timescale"))
+	}
+
+	rate, hor := getF("rate"), getF("horizon")
+	if rate < 0 || math.IsNaN(rate) {
+		return fmt.Errorf("-rate must be >= 0, got %v", rate)
+	}
+	if set["rate"] && rate > 0 && !set["horizon"] {
+		return fmt.Errorf("-rate requires an explicit -horizon: a traffic source must state how long it generates")
+	}
+	if set["horizon"] && !set["rate"] {
+		return fmt.Errorf("-horizon requires -rate: without a traffic rate there is no generation to bound")
+	}
+	if set["horizon"] && (hor <= 0 || math.IsNaN(hor)) {
+		return fmt.Errorf("-horizon must be > 0, got %v", hor)
+	}
+
+	hi, he, hl := getF("hello-interval"), getF("hello-expiry"), getF("hello-loss")
+	if hi < 0 || math.IsNaN(hi) {
+		return fmt.Errorf("-hello-interval must be >= 0, got %v", hi)
+	}
+	if set["hello-expiry"] && !set["hello-interval"] {
+		return fmt.Errorf("-hello-expiry requires -hello-interval: without beacons there is no staleness clock to expire")
+	}
+	if set["hello-expiry"] && (he <= 0 || math.IsNaN(he)) {
+		return fmt.Errorf("-hello-expiry must be > 0, got %v", he)
+	}
+	if set["hello-loss"] && !set["hello-interval"] {
+		return fmt.Errorf("-hello-loss requires -hello-interval: without beacons there is nothing to lose")
+	}
+	if hl < 0 || hl >= 1 || math.IsNaN(hl) {
+		return fmt.Errorf("-hello-loss must be in [0,1), got %v", hl)
+	}
+
+	if dir := get("journal"); dir != "" {
+		if err := validateWritableDir(dir); err != nil {
+			return fmt.Errorf("-journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// validateWritableDir creates dir if needed and proves it writable by
+// creating and removing a probe file.
+func validateWritableDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	probe, err := os.CreateTemp(dir, ".writable-*")
+	if err != nil {
+		return fmt.Errorf("directory %s is not writable: %w", dir, err)
+	}
+	name := probe.Name()
+	probe.Close()
+	return os.Remove(name)
 }
 
 func parsePeers(s string) (map[string]*net.UDPAddr, error) {

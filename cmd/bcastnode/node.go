@@ -10,11 +10,14 @@ import (
 	"io"
 	"log"
 	"net"
+	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adhocbcast/internal/graph"
+	"adhocbcast/internal/hello"
 	rt "adhocbcast/internal/runtime"
 	"adhocbcast/internal/sim"
 	"adhocbcast/internal/traffic"
@@ -55,9 +58,28 @@ type body struct {
 	Attempt int         `json:"attempt,omitempty"`
 	Packet  *sim.Packet `json:"packet,omitempty"`
 
+	// hello: one view-maintenance beacon. Round is the beacon round (1-based;
+	// the topology push is round 0), Forwarded the sender's forwarded message
+	// ids (the anti-entropy summary receivers repair from).
+	Round int `json:"round,omitempty"`
+
+	// peers: a runtime peer-address update (UDP mode), name -> host:port.
+	// A restarted node rebinds to a fresh port, so the supervisor pushes
+	// updated maps to the survivors.
+	Peers map[string]string `json:"peers,omitempty"`
+
 	// status_ok
 	Forwarded []int64 `json:"forwarded,omitempty"`
 	NACKs     int     `json:"nacks,omitempty"`
+	// status_ok crash-recovery state: journal boots observed (restarts =
+	// boots-1), journal replays performed, completed rejoins after a
+	// restart, counted malformed/oversized frame drops, and whether the
+	// node's view is stale right now (forwarding held).
+	Boots      int   `json:"boots,omitempty"`
+	Replays    int   `json:"replays,omitempty"`
+	Rejoins    int   `json:"rejoins,omitempty"`
+	FrameDrops int64 `json:"frame_drops,omitempty"`
+	Stale      bool  `json:"stale,omitempty"`
 
 	// error
 	Code int    `json:"code,omitempty"`
@@ -99,6 +121,25 @@ type NodeConfig struct {
 	// TrafficHorizon is the generation horizon in time units for Rate
 	// (default 400).
 	TrafficHorizon float64
+	// JournalDir, when non-empty, enables the write-ahead journal: the node
+	// appends its durable broadcast state (seen messages, forwards, pending
+	// NACK obligations) to <JournalDir>/<node-name>.journal and replays it
+	// after a restart, so a crashed-and-respawned node neither re-forwards
+	// nor double-counts. See docs/recovery.md.
+	JournalDir string
+	// HelloInterval, when positive, enables periodic hello beacons every
+	// HelloInterval time units after the first topology: per-neighbor
+	// staleness clocks, conservative forwarding holds while the view is
+	// stale, and anti-entropy repair of broadcasts missed while dead (see
+	// docs/recovery.md). 0 disables view maintenance.
+	HelloInterval float64
+	// HelloExpiry is the staleness threshold: a view-neighbor not heard from
+	// for longer than this makes the view stale (default 3×HelloInterval).
+	HelloExpiry float64
+	// HelloLossRate drops incoming beacons with the seed-deterministic
+	// schedule of hello.Dynamic.Received, so a pipe harness can exercise
+	// beacon loss without real process churn.
+	HelloLossRate float64
 }
 
 func (c NodeConfig) withDefaults() NodeConfig {
@@ -132,6 +173,9 @@ func (c NodeConfig) withDefaults() NodeConfig {
 	if c.TrafficHorizon <= 0 {
 		c.TrafficHorizon = 400
 	}
+	if c.HelloInterval > 0 && c.HelloExpiry <= 0 {
+		c.HelloExpiry = 3 * c.HelloInterval
+	}
 	return c
 }
 
@@ -159,6 +203,21 @@ type Node struct {
 	cores map[int64]*liveCore
 
 	trafficStarted bool
+
+	// crash-recovery state (all confined to the loop goroutine)
+	journal    *journal
+	pendingOps []journalOp // prior-life ops awaiting replay at first topology
+	boots      int
+	replays    int
+	rejoins    int
+	// view maintenance
+	dyn            hello.Dynamic
+	beaconsStarted bool
+	helloRound     int
+	lastHeard      map[int]float64 // view-neighbor -> last beacon time (units)
+	rejoinPending  bool
+	// asked[msg][from] counts anti-entropy NACKs already sent for msg to from
+	asked map[int64]map[int]int
 }
 
 // NewNode builds a node over the given wire.
@@ -168,12 +227,20 @@ func NewNode(cfg NodeConfig, w wire) (*Node, error) {
 		return nil, fmt.Errorf("bcastnode: NodeConfig.Protocol is nil")
 	}
 	return &Node{
-		cfg:   cfg,
-		wire:  w,
-		errl:  log.New(log.Writer(), "bcastnode: ", 0),
-		loop:  make(chan func(), 64),
-		done:  make(chan struct{}),
-		cores: make(map[int64]*liveCore),
+		cfg:  cfg,
+		wire: w,
+		errl: log.New(log.Writer(), "bcastnode: ", 0),
+		loop: make(chan func(), 64),
+		done: make(chan struct{}),
+		dyn: hello.Dynamic{
+			Interval: cfg.HelloInterval,
+			Expiry:   cfg.HelloExpiry,
+			LossRate: cfg.HelloLossRate,
+			Seed:     cfg.Seed,
+		},
+		cores:     make(map[int64]*liveCore),
+		lastHeard: make(map[int]float64),
+		asked:     make(map[int64]map[int]int),
 	}, nil
 }
 
@@ -228,9 +295,15 @@ func (n *Node) post(fn func()) {
 	}
 }
 
-// after schedules fn on the loop after d protocol time units.
+// after schedules fn on the loop after d protocol time units. Every timer
+// execution ends at a journal durability point, like envelope handlers.
 func (n *Node) after(d float64, fn func()) {
-	time.AfterFunc(time.Duration(d*float64(n.cfg.TimeScale)), func() { n.post(fn) })
+	time.AfterFunc(time.Duration(d*float64(n.cfg.TimeScale)), func() {
+		n.post(func() {
+			fn()
+			n.syncJournal()
+		})
+	})
 }
 
 // now returns the node's clock in protocol time units.
@@ -256,8 +329,40 @@ func (n *Node) handle(env envelope) {
 		n.handleNACK(env)
 	case "garble":
 		n.handleGarble(env)
+	case "hello":
+		n.handleHello(env)
+	case "peers":
+		n.handlePeers(env)
 	default:
 		n.replyError(env, errNotSupported, fmt.Sprintf("unsupported message type %q", env.Body.Type))
+	}
+	// One durability point per handled envelope: everything the handler
+	// journaled is on disk before the next envelope is processed ("forward"
+	// records additionally sync before their datagrams; see liveCore).
+	n.syncJournal()
+}
+
+// syncJournal flushes pending journal records; an I/O error here means
+// durability is gone, so it is fatal for the journal (logged, journal
+// disabled) rather than silently ignored.
+func (n *Node) syncJournal() {
+	if n.journal == nil {
+		return
+	}
+	if err := n.journal.sync(); err != nil {
+		n.errl.Printf("journal sync: %v (journaling disabled)", err)
+		n.journal = nil
+	}
+}
+
+// record appends one journal op (and nothing when journaling is off).
+func (n *Node) record(op journalOp) {
+	if n.journal == nil {
+		return
+	}
+	if err := n.journal.append(op); err != nil {
+		n.errl.Printf("journal append: %v (journaling disabled)", err)
+		n.journal = nil
 	}
 }
 
@@ -293,6 +398,16 @@ func (n *Node) handleInit(env envelope) {
 	n.name = b.NodeID
 	n.self = self
 	n.start = time.Now()
+	if n.cfg.JournalDir != "" && n.journal == nil {
+		j, ops, boots, err := openJournal(filepath.Join(n.cfg.JournalDir, n.name+".journal"))
+		if err != nil {
+			n.replyError(env, errMalformed, fmt.Sprintf("journal: %v", err))
+			return
+		}
+		n.journal = j
+		n.pendingOps = ops
+		n.boots = boots
+	}
 	n.reply(env, body{Type: "init_ok"})
 }
 
@@ -325,8 +440,184 @@ func (n *Node) handleTopology(env envelope) {
 	// Topology changes reset all broadcast state: views were cut from the
 	// old graph.
 	n.cores = make(map[int64]*liveCore)
+	if len(n.pendingOps) > 0 {
+		// First topology after a restart: replay the journal into fresh
+		// cores. A first-boot node has no prior ops and skips this.
+		n.replayJournal(n.pendingOps)
+		n.pendingOps = nil
+		n.replays++
+	}
+	if n.cfg.HelloInterval > 0 {
+		if n.boots > 1 {
+			// Rejoin protocol: a restarted node trusts nothing about its
+			// neighborhood until every view-neighbor beacons — its staleness
+			// clocks start empty, so the conservative fallback holds its
+			// forwarding until the view is confirmed fresh.
+			n.lastHeard = make(map[int]float64)
+			n.rejoinPending = true
+		} else {
+			// The topology push is beacon round 0: every view-neighbor
+			// counts as just heard (the sim models round 0 as always
+			// received).
+			now := n.now()
+			n.g.ForEachNeighbor(n.self, func(u int) { n.lastHeard[u] = now })
+		}
+	}
 	n.reply(env, body{Type: "topology_ok"})
 	n.startTraffic()
+	n.startBeacons()
+}
+
+// replayJournal rebuilds broadcast state from a prior life's journal: sent
+// packets are restored first (so nothing replays into a duplicate forward),
+// then source starts, deliveries, and unmet NACK obligations re-run through
+// the ordinary engine entry points — a node that crashed before a forwarding
+// decision re-decides it, one that crashed after honors it.
+func (n *Node) replayJournal(ops []journalOp) {
+	for _, op := range ops {
+		if op.Op == "forward" && op.Packet != nil {
+			n.core(op.Msg).core.RestoreSent(*op.Packet)
+		}
+	}
+	type obligation struct {
+		msg           int64
+		from, attempt int
+	}
+	pending := make(map[obligation]int)
+	for _, op := range ops {
+		switch op.Op {
+		case "source":
+			lc := n.core(op.Msg)
+			if !lc.core.Delivered() {
+				lc.core.Start()
+			}
+		case "deliver":
+			if op.Packet != nil {
+				n.core(op.Msg).core.HandlePacket(op.From, *op.Packet, n.now())
+			}
+		case "nack":
+			pending[obligation{op.Msg, op.From, op.Attempt}]++
+		case "nack_done":
+			pending[obligation{op.Msg, op.From, op.Attempt}]--
+		}
+	}
+	for ob, count := range pending {
+		for i := 0; i < count; i++ {
+			n.core(ob.msg).core.HandleNACK(ob.from, ob.attempt)
+		}
+	}
+}
+
+// staleView reports whether this node's view is provably stale: hello
+// maintenance is on and some view-neighbor has not beaconed within the
+// expiry (a restarted node starts with empty clocks, so it is stale until
+// every view-neighbor confirms). Installed as the core's conservative-hold
+// hook.
+func (n *Node) staleView(v int, now float64) bool {
+	if n.cfg.HelloInterval <= 0 || n.g == nil {
+		return false
+	}
+	stale := false
+	n.g.ForEachNeighbor(n.self, func(u int) {
+		if stale {
+			return
+		}
+		at, heard := n.lastHeard[u]
+		if !heard || now-at > n.cfg.HelloExpiry {
+			stale = true
+		}
+	})
+	return stale
+}
+
+// startBeacons arms the periodic hello beacon on the first topology.
+func (n *Node) startBeacons() {
+	if n.cfg.HelloInterval <= 0 || n.beaconsStarted {
+		return
+	}
+	n.beaconsStarted = true
+	n.scheduleBeacon()
+}
+
+func (n *Node) scheduleBeacon() {
+	n.after(n.cfg.HelloInterval, func() {
+		n.helloRound++
+		n.sendBeacon(n.helloRound)
+		n.scheduleBeacon()
+	})
+}
+
+// sendBeacon broadcasts one hello to every true neighbor, carrying this
+// node's forwarded message ids as the anti-entropy summary.
+func (n *Node) sendBeacon(round int) {
+	if n.g == nil {
+		return
+	}
+	var fwd []int64
+	for m, lc := range n.cores {
+		if lc.core.Forwarded() {
+			fwd = append(fwd, m)
+		}
+	}
+	sort.Slice(fwd, func(i, j int) bool { return fwd[i] < fwd[j] })
+	n.g.ForEachNeighbor(n.self, func(u int) {
+		n.send(n.names[u], body{Type: "hello", From: n.self, Round: round, Forwarded: fwd})
+	})
+}
+
+// handleHello processes one beacon: seeded loss, staleness-clock refresh,
+// rejoin completion, and anti-entropy repair — any advertised forward this
+// node has not delivered is NACKed back to the sender, which retransmits
+// from its (journal-restored) sent packet. That is how a node that was dead
+// during a wave recovers it.
+func (n *Node) handleHello(env envelope) {
+	if n.g == nil || n.cfg.HelloInterval <= 0 {
+		return
+	}
+	from := env.Body.From
+	if from < 0 || from >= len(n.names) {
+		return
+	}
+	if !n.dyn.Received(n.self, from, env.Body.Round) {
+		return // seeded beacon loss (no-op unless HelloLossRate is set)
+	}
+	n.lastHeard[from] = n.now()
+	if n.rejoinPending && !n.staleView(n.self, n.now()) {
+		n.rejoinPending = false
+		n.rejoins++
+	}
+	if !n.cfg.NACKRecovery {
+		return
+	}
+	for _, m := range env.Body.Forwarded {
+		lc := n.core(m)
+		if lc.core.Delivered() {
+			continue
+		}
+		byFrom := n.asked[m]
+		if byFrom == nil {
+			byFrom = make(map[int]int)
+			n.asked[m] = byFrom
+		}
+		if byFrom[from] >= n.cfg.RetryBudget {
+			continue
+		}
+		byFrom[from]++
+		lc.nacks++ // status counts anti-entropy requests with recovery NACKs
+		lc.NACK(from, byFrom[from])
+	}
+}
+
+// handlePeers applies a runtime peer-address update (UDP mode; a no-op on
+// stdio wires, whose routing is the harness's job).
+func (n *Node) handlePeers(env envelope) {
+	if pw, ok := n.wire.(peerUpdater); ok {
+		if err := pw.updatePeers(env.Body.Peers); err != nil {
+			n.replyError(env, errMalformed, err.Error())
+			return
+		}
+	}
+	n.reply(env, body{Type: "peers_ok"})
 }
 
 // trafficMessageID tags node-generated broadcast waves: arrival seq of node
@@ -370,8 +661,10 @@ func (n *Node) startTraffic() {
 			}
 			lc := n.core(msg)
 			if !lc.core.Delivered() {
+				n.record(journalOp{Op: "source", Msg: msg})
 				lc.core.Start()
 			}
+			n.syncJournal()
 		})
 	}
 }
@@ -385,14 +678,16 @@ func (n *Node) core(msg int64) *liveCore {
 	lc := &liveCore{n: n, msg: msg}
 	lv := view.NewLocal(n.g, n.self, n.cfg.Hops, n.base)
 	lc.core = rt.NewCore(n.self, n.cfg.Protocol(), lv, n.g, rt.CoreConfig{
-		N:              len(n.names),
-		PiggybackDepth: n.cfg.PiggybackDepth,
-		BackoffWindow:  n.cfg.BackoffWindow,
-		TransmitDelay:  n.cfg.TransmitDelay,
-		NACKRecovery:   n.cfg.NACKRecovery,
-		RetryBudget:    n.cfg.RetryBudget,
-		NACKDelay:      n.cfg.NACKDelay,
-		RetryBackoff:   n.cfg.RetryBackoff,
+		N:                    len(n.names),
+		PiggybackDepth:       n.cfg.PiggybackDepth,
+		BackoffWindow:        n.cfg.BackoffWindow,
+		TransmitDelay:        n.cfg.TransmitDelay,
+		NACKRecovery:         n.cfg.NACKRecovery,
+		RetryBudget:          n.cfg.RetryBudget,
+		NACKDelay:            n.cfg.NACKDelay,
+		RetryBackoff:         n.cfg.RetryBackoff,
+		ConservativeFallback: n.cfg.HelloInterval > 0,
+		StaleView:            n.staleView,
 	}, lc, rt.StreamSeed(n.cfg.Seed, "bcastnode.backoff", n.self, int(msg)))
 	lc.core.Init()
 	n.cores[msg] = lc
@@ -418,6 +713,7 @@ func (n *Node) handleBroadcast(env envelope) {
 	}
 	lc := n.core(*env.Body.Message)
 	if !lc.core.Delivered() {
+		n.record(journalOp{Op: "source", Msg: lc.msg})
 		lc.core.Start()
 	}
 	n.reply(env, body{Type: "broadcast_ok"})
@@ -431,13 +727,21 @@ func (n *Node) handlePkt(env envelope) {
 		n.replyError(env, errMalformed, "pkt without packet")
 		return
 	}
-	n.core(*env.Body.Message).core.HandlePacket(env.Body.From, *env.Body.Packet, n.now())
+	lc := n.core(*env.Body.Message)
+	// Journal every receipt before processing it — duplicates included,
+	// because pruning protocols decide from the full receipt log. If the
+	// process dies mid-decision, replay re-runs the receipts and re-decides.
+	n.record(journalOp{Op: "deliver", Msg: lc.msg, From: env.Body.From, Packet: env.Body.Packet})
+	lc.core.HandlePacket(env.Body.From, *env.Body.Packet, n.now())
 }
 
 func (n *Node) handleNACK(env envelope) {
 	if !n.ready(env, true) {
 		return
 	}
+	// The obligation is journaled before it is honored: a node killed
+	// between NACK receipt and retransmit replays it after restart.
+	n.record(journalOp{Op: "nack", Msg: *env.Body.Message, From: env.Body.From, Attempt: env.Body.Attempt})
 	n.core(*env.Body.Message).core.HandleNACK(env.Body.From, env.Body.Attempt)
 }
 
@@ -464,7 +768,16 @@ func (n *Node) handleRead(env envelope) {
 }
 
 func (n *Node) handleStatus(env envelope) {
-	b := body{Type: "status_ok"}
+	b := body{
+		Type:       "status_ok",
+		Boots:      n.boots,
+		Replays:    n.replays,
+		Rejoins:    n.rejoins,
+		FrameDrops: n.wire.drops(),
+	}
+	if n.g != nil {
+		b.Stale = n.staleView(n.self, n.now())
+	}
 	for m, lc := range n.cores {
 		if lc.core.Delivered() {
 			b.Messages = append(b.Messages, m)
@@ -492,6 +805,11 @@ var _ rt.Transport = (*liveCore)(nil)
 
 func (lc *liveCore) Broadcast(pkt sim.Packet) {
 	m, p := lc.msg, pkt
+	// Write-ahead: the forward record is durable before any datagram leaves,
+	// so a crash in between replays as "already forwarded" — never twice on
+	// the air. The copies themselves are repaired by anti-entropy beacons.
+	lc.n.record(journalOp{Op: "forward", Msg: m, Packet: &p})
+	lc.n.syncJournal()
 	lc.n.g.ForEachNeighbor(lc.n.self, func(u int) {
 		lc.n.send(lc.n.names[u], body{Type: "pkt", From: lc.n.self, Message: &m, Packet: &p})
 	})
@@ -499,6 +817,7 @@ func (lc *liveCore) Broadcast(pkt sim.Packet) {
 
 func (lc *liveCore) Unicast(to int, pkt sim.Packet, attempt int) {
 	m, p := lc.msg, pkt
+	lc.n.record(journalOp{Op: "nack_done", Msg: m, From: to, Attempt: attempt})
 	lc.n.send(lc.n.names[to], body{Type: "pkt", From: lc.n.self, Attempt: attempt, Message: &m, Packet: &p})
 }
 
@@ -525,22 +844,45 @@ func (lc *liveCore) NoteNonForward()                    {}
 
 // wire is one duplex envelope transport. recv is called from the Run loop
 // only; send may be called concurrently with recv but is otherwise confined
-// to the handler loop.
+// to the handler loop. drops reports how many inbound frames the wire
+// discarded as malformed (truncated, oversized, or undecodable); a damaged
+// frame is counted and skipped, never a hang or a panic.
 type wire interface {
 	recv() (envelope, error)
 	send(env envelope) error
+	drops() int64
+}
+
+// peerUpdater is implemented by wires whose peer address book can be rewired
+// at runtime (udpWire). A "peers" envelope uses it — the mechanism by which a
+// chaos supervisor tells surviving nodes about a restarted peer's new port.
+type peerUpdater interface {
+	updatePeers(peers map[string]string) error
 }
 
 // stdioWire speaks framed JSON over a single duplex byte stream (the
 // maelstrom shape: a harness routes envelopes between processes).
 type stdioWire struct {
-	fr framer
-	mu sync.Mutex
+	fr     framer
+	mu     sync.Mutex
+	nDrops atomic.Int64
 }
 
 func (w *stdioWire) recv() (envelope, error) {
 	for {
 		frame, err := w.fr.ReadFrame()
+		if errors.Is(err, errFrameOversize) {
+			// The framer already discarded the payload and resynced; count
+			// the loss and keep reading.
+			w.nDrops.Add(1)
+			continue
+		}
+		if errors.Is(err, errFrameTruncated) {
+			// The stream died mid-frame. The partial frame is a counted
+			// drop; the stream itself is over, cleanly.
+			w.nDrops.Add(1)
+			return envelope{}, io.EOF
+		}
 		if err != nil {
 			return envelope{}, err
 		}
@@ -549,11 +891,14 @@ func (w *stdioWire) recv() (envelope, error) {
 		}
 		var env envelope
 		if err := json.Unmarshal(frame, &env); err != nil {
-			return envelope{}, fmt.Errorf("bcastnode: bad frame: %w", err)
+			w.nDrops.Add(1)
+			continue
 		}
 		return env, nil
 	}
 }
+
+func (w *stdioWire) drops() int64 { return w.nDrops.Load() }
 
 func (w *stdioWire) send(env envelope) error {
 	b, err := json.Marshal(env)
@@ -570,10 +915,11 @@ func (w *stdioWire) send(env envelope) error {
 // learned from incoming traffic, so replies reach clients that were never
 // configured.
 type udpWire struct {
-	conn  *net.UDPConn
-	mu    sync.Mutex
-	peers map[string]*net.UDPAddr
-	buf   []byte
+	conn   *net.UDPConn
+	mu     sync.Mutex
+	peers  map[string]*net.UDPAddr
+	buf    []byte
+	nDrops atomic.Int64
 }
 
 func newUDPWire(conn *net.UDPConn, peers map[string]*net.UDPAddr) *udpWire {
@@ -591,7 +937,10 @@ func (w *udpWire) recv() (envelope, error) {
 		}
 		var env envelope
 		if err := json.Unmarshal(w.buf[:sz], &env); err != nil {
-			// A malformed datagram is line noise, not a reason to die.
+			// A malformed datagram is line noise, not a reason to die. A
+			// datagram larger than the read buffer lands here too: the
+			// kernel truncates the excess, so the JSON cannot parse.
+			w.nDrops.Add(1)
 			continue
 		}
 		if env.Src != "" {
@@ -601,6 +950,28 @@ func (w *udpWire) recv() (envelope, error) {
 		}
 		return env, nil
 	}
+}
+
+func (w *udpWire) drops() int64 { return w.nDrops.Load() }
+
+// updatePeers resolves and installs new peer addresses, replacing existing
+// entries by name and leaving unnamed peers alone. All-or-nothing: a single
+// unresolvable address rejects the whole update.
+func (w *udpWire) updatePeers(peers map[string]string) error {
+	resolved := make(map[string]*net.UDPAddr, len(peers))
+	for name, hostport := range peers {
+		addr, err := net.ResolveUDPAddr("udp", hostport)
+		if err != nil {
+			return fmt.Errorf("bcastnode: peer %q: %w", name, err)
+		}
+		resolved[name] = addr
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for name, addr := range resolved {
+		w.peers[name] = addr
+	}
+	return nil
 }
 
 func (w *udpWire) send(env envelope) error {
@@ -657,6 +1028,16 @@ func (f *lineFramer) WriteFrame(b []byte) error {
 // protocol here produces).
 const maxFrame = 1 << 20
 
+// errFrameOversize reports a frame whose advertised length exceeds maxFrame.
+// The framer has already discarded the payload, so the stream is positioned
+// at the next frame and the caller may keep reading after counting the drop.
+var errFrameOversize = errors.New("bcastnode: oversized frame dropped")
+
+// errFrameTruncated reports a stream that ended in the middle of a frame (a
+// partial length prefix or a payload shorter than its prefix promised). The
+// stream is over; the caller counts the drop and treats it as a clean EOF.
+var errFrameTruncated = errors.New("bcastnode: truncated frame")
+
 // lengthFramer is the binary framing: a 4-byte big-endian length prefix
 // followed by the JSON payload.
 type lengthFramer struct {
@@ -667,16 +1048,26 @@ type lengthFramer struct {
 func (f *lengthFramer) ReadFrame() ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(f.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			// A partial length prefix: the stream died mid-frame.
+			return nil, errFrameTruncated
+		}
 		return nil, err
 	}
 	sz := binary.BigEndian.Uint32(hdr[:])
 	if sz > maxFrame {
-		return nil, fmt.Errorf("bcastnode: frame of %d bytes exceeds the %d limit", sz, maxFrame)
+		// Discard the oversized payload without buffering it, so a hostile
+		// or corrupt prefix cannot balloon memory, then resync at the next
+		// frame boundary.
+		if _, err := io.CopyN(io.Discard, f.r, int64(sz)); err != nil {
+			return nil, errFrameTruncated
+		}
+		return nil, errFrameOversize
 	}
 	buf := make([]byte, sz)
 	if _, err := io.ReadFull(f.r, buf); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil, errFrameTruncated
 		}
 		return nil, err
 	}

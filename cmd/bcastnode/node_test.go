@@ -74,13 +74,19 @@ func newHarness(t *testing.T, n int, cfg NodeConfig, filter func(env envelope) [
 			h.route(outR)
 		}()
 	}
-	t.Cleanup(func() {
-		for _, w := range h.inW {
-			w.Close()
-		}
-		h.wg.Wait()
-	})
+	t.Cleanup(h.close)
 	return h
+}
+
+// close shuts every node down (abruptly, from the nodes' point of view: pipes
+// just end) and waits for the routers to drain. Safe to call twice; restart
+// tests call it mid-test before bringing up a successor harness on the same
+// journal directory.
+func (h *harness) close() {
+	for _, w := range h.inW {
+		w.Close()
+	}
+	h.wg.Wait()
 }
 
 func (h *harness) route(r io.Reader) {

@@ -49,7 +49,7 @@ func run(args []string) error {
 		fig    = fs.String("fig", "", "figure id to reproduce (10..16)")
 		all    = fs.Bool("all", false, "reproduce every figure")
 		table1 = fs.Bool("table1", false, "print Table 1")
-		ext    = fs.String("ext", "", "extension experiment: mobility, reliability, piggyback, backoff, visitedunion, cluster, latency, crash, crashforward, loss, helloloss, hellolossforward, hellolosslatency, load")
+		ext    = fs.String("ext", "", "extension experiment: mobility, reliability, piggyback, backoff, visitedunion, cluster, latency, crash, crashforward, loss, helloloss, hellolossforward, hellolosslatency, restart, restartlatency, load")
 		scale  = fs.Bool("scale", false, "run the large-n scale sweep (delivery/forward/latency beyond the paper's n=100)")
 		ssizes = fs.String("scalesizes", "", "comma-separated network sizes for -scale (default 1000,5000,10000,25000,100000,1000000)")
 		sdeg   = fs.Int("scaledegree", 0, "average degree for -scale (default 18; sparse degrees are not connectable at large n)")
@@ -61,6 +61,7 @@ func run(args []string) error {
 		crash  = fs.String("crashfracs", "", "comma-separated crash fractions for -ext crash/crashforward (default 0,0.05,0.1,0.2,0.3)")
 		loss   = fs.String("lossrates", "", "comma-separated loss rates for -ext loss (default 0,0.05,0.1,0.2,0.3)")
 		hello  = fs.String("hellorates", "", "comma-separated hello loss rates for -ext helloloss* (default 0,0.05,0.1,0.2,0.3)")
+		rrates = fs.String("restartrates", "", "comma-separated restart fractions for -ext restart* (default 0,0.1,0.2,0.3,0.4)")
 		lrates = fs.String("loadrates", "", "comma-separated offered loads (sessions/slot) for -ext load (default 0.02,0.05,0.1,0.2,0.4)")
 		lreps  = fs.Int("loadreps", 0, "replicates per -ext load point (default 5)")
 		par    = fs.Int("parallel", 1, "replicates evaluated concurrently per data point (results are identical for any value)")
@@ -135,6 +136,9 @@ func run(args []string) error {
 		return err
 	}
 	if rc.HelloLossRates, err = parseFloats(*hello, "-hellorates"); err != nil {
+		return err
+	}
+	if rc.RestartRates, err = parseFloats(*rrates, "-restartrates"); err != nil {
 		return err
 	}
 	emit := func(f experiments.Figure) error {

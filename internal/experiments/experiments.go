@@ -50,6 +50,11 @@ type RunConfig struct {
 	// experiments (default 0, 0.05, 0.1, 0.2, 0.3). These degrade view
 	// formation, not the broadcast channel; see internal/hello.
 	HelloLossRates []float64
+	// RestartRates lists the restart-fraction sweep values of the
+	// crash-recovery experiments (default 0, 0.1, 0.2, 0.3, 0.4): the
+	// fraction of nodes that go down for one outage window mid-broadcast
+	// and come back. See restart.go and docs/recovery.md.
+	RestartRates []float64
 	// TraceDir, when non-empty, exports every replicate of every data point
 	// as JSONL (one file per point, see internal/obsv): a versioned run
 	// record with counters, latency histogram, and forward-set distribution,
@@ -107,6 +112,9 @@ func (c RunConfig) withDefaults() RunConfig {
 	}
 	if len(c.HelloLossRates) == 0 {
 		c.HelloLossRates = []float64{0, 0.05, 0.1, 0.2, 0.3}
+	}
+	if len(c.RestartRates) == 0 {
+		c.RestartRates = []float64{0, 0.1, 0.2, 0.3, 0.4}
 	}
 	return c
 }

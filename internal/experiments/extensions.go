@@ -385,6 +385,10 @@ func ExtensionByID(id string, rc RunConfig) (Figure, error) {
 		return HelloLossForwardRatio(rc)
 	case "hellolosslatency":
 		return HelloLossLatency(rc)
+	case "restart":
+		return RestartDelivery(rc)
+	case "restartlatency":
+		return RestartLatency(rc)
 	default:
 		return Figure{}, fmt.Errorf("experiments: unknown extension %q (valid: %v)", id, AllExtensionIDs())
 	}
@@ -392,7 +396,7 @@ func ExtensionByID(id string, rc RunConfig) (Figure, error) {
 
 // AllExtensionIDs lists the extension experiments.
 func AllExtensionIDs() []string {
-	return []string{"mobility", "reliability", "piggyback", "backoff", "visitedunion", "cluster", "latency", "crash", "crashforward", "loss", "helloloss", "hellolossforward", "hellolosslatency"}
+	return []string{"mobility", "reliability", "piggyback", "backoff", "visitedunion", "cluster", "latency", "crash", "crashforward", "loss", "helloloss", "hellolossforward", "hellolosslatency", "restart", "restartlatency"}
 }
 
 // mobilitySeed derives the perturbation seed for one mobility replication.

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"adhocbcast/internal/fault"
+	"adhocbcast/internal/graph"
+	"adhocbcast/internal/hello"
+	"adhocbcast/internal/protocol"
+	"adhocbcast/internal/sim"
+)
+
+// The restart experiments measure crash-recovery degradation: a fraction of
+// the nodes is SIGKILLed mid-broadcast and comes back after a fixed outage
+// window (a down interval in the fault plan, not a permanent crash), on top
+// of the same 10% lossy channel the crash sweeps use. Unlike the crash
+// sweeps, every node is reachable again by the end of the run, so delivery is
+// scored against the whole network: what the curves show is how much of a
+// wave a restarting node permanently misses, and how much of that the NACK
+// recovery layer and the dynamic-hello conservative hold claw back. This is
+// the simulation face of the process-kill chaos harness
+// (internal/runtime/chaos); docs/recovery.md connects the two.
+
+// restartOutage is the length of one down window in transmission slots: long
+// enough that an un-recovered pruning wave has passed when the node returns,
+// short enough that the NACK layer's retries are still in flight.
+const restartOutage = 5.0
+
+// restartVariant is one curve of a restart figure: a protocol plus the
+// recovery machinery layered on it.
+type restartVariant struct {
+	label string
+	make  func() sim.Protocol
+	nack  bool
+	hold  bool
+}
+
+func restartVariants() []restartVariant {
+	return []restartVariant{
+		{label: "Flooding", make: protocol.Flooding},
+		{label: "Generic-FR", make: func() sim.Protocol { return protocol.Generic(protocol.TimingFirstReceipt) }},
+		{label: "Generic-FRB+NACK", make: func() sim.Protocol { return protocol.Generic(protocol.TimingBackoffRandom) }, nack: true},
+		{label: "Generic-FRB+NACK+Hold", make: func() sim.Protocol { return protocol.Generic(protocol.TimingBackoffRandom) }, nack: true, hold: true},
+	}
+}
+
+// restartSeed derives the kill-schedule seed for one (replication, sweep
+// value) cell. The variant is deliberately excluded: every curve sees the
+// same networks, sources, and restart schedules (common random numbers).
+func restartSeed(base int64, n, d, rep, permille int) int64 {
+	return deriveSeed("restart", base, n, d, rep, permille)
+}
+
+// restartPlan builds one replicate's kill schedule: a rng-chosen fraction of
+// the nodes (source protected) each goes down once, at a uniform time in the
+// first 10 slots, for restartOutage slots.
+func restartPlan(g *graph.Graph, source int, frac float64, seed int64) (*fault.Plan, error) {
+	n := g.N()
+	rng := rand.New(rand.NewSource(seed))
+	plan := fault.NewEmptyPlan(n)
+	k := int(math.Round(frac * float64(n)))
+	placed := 0
+	for _, v := range rng.Perm(n) {
+		if placed == k {
+			break
+		}
+		if v == source {
+			continue
+		}
+		from := rng.Float64() * 10
+		plan.AddNodeDown(v, fault.Interval{From: from, To: from + restartOutage})
+		placed++
+	}
+	if err := plan.Validate(n); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// RestartDelivery sweeps the restart fraction: X is the percentage of nodes
+// that go down for one outage window mid-broadcast, and the series report the
+// delivery ratio over all nodes (everyone is back up by the end). Flooding's
+// redundancy and long lossy-channel tail reach most returning nodes; the
+// pruned waves are gone by the time a node returns, and the NACK layer plus
+// the conservative hold recover part of the gap.
+func RestartDelivery(rc RunConfig) (Figure, error) {
+	return restartSweep(rc, "RS1",
+		"Crash-recovery: delivery vs restart fraction (n=100, 10% loss)",
+		"delivery %",
+		func(res sim.Result, rec *sim.Recorder) float64 { return 100 * res.DeliveryRatio() })
+}
+
+// RestartLatency is the companion cost curve of RestartDelivery: the mean
+// first-delivery latency across the nodes that did deliver. Restart survivors
+// that catch the wave only through recovery retransmissions deliver late, so
+// the curve rises with the restart fraction — the price of the delivery the
+// recovery machinery buys back.
+func RestartLatency(rc RunConfig) (Figure, error) {
+	return restartSweep(rc, "RS2",
+		"Crash-recovery: mean delivery latency vs restart fraction (n=100, 10% loss)",
+		"mean latency (slots)",
+		func(res sim.Result, rec *sim.Recorder) float64 { return rec.MeanDeliveryLatency() })
+}
+
+func restartSweep(rc RunConfig, id, title, unit string, metric func(sim.Result, *sim.Recorder) float64) (Figure, error) {
+	rc = rc.withDefaults()
+	fig := Figure{ID: id, Title: title, Unit: unit}
+	for _, d := range rc.Degrees {
+		panel := Panel{Title: fmt.Sprintf("d=%d, n=100, 2-hop", d)}
+		for _, v := range restartVariants() {
+			s := Series{Label: v.label}
+			for _, frac := range rc.RestartRates {
+				frac, v := frac, v
+				pct := int(math.Round(100 * frac))
+				point := fmt.Sprintf("%s/%s/restart=%d/d=%d", id, v.label, pct, d)
+				sink, err := rc.newTraceSink(point)
+				if err != nil {
+					return Figure{}, err
+				}
+				sum, err := rc.replicate(point, func(i int) (float64, error) {
+					seed := workloadSeed(rc.Seed, 100, d, i)
+					w, err := workloads.get(workloadKey{seed: seed, n: 100, d: d})
+					if err != nil {
+						return 0, err
+					}
+					plan, err := restartPlan(w.net.G, w.source, frac, restartSeed(rc.Seed, 100, d, i, pct*10))
+					if err != nil {
+						return 0, err
+					}
+					rec := &sim.Recorder{}
+					cfg := sim.Config{
+						Hops:         2,
+						Seed:         seed + 1,
+						LossRate:     crashAmbientLoss,
+						Faults:       plan,
+						NACKRecovery: v.nack,
+						Observer:     rec,
+					}
+					if v.hold {
+						// The dynamic-hello staleness schedule is a pure
+						// function of its own seed (see internal/hello), so
+						// every replicate sees a different beacon-loss
+						// pattern but reruns are bit-identical.
+						cfg.DynamicHello = &hello.Dynamic{Interval: 2, Expiry: 2.5, LossRate: 0.2, Seed: seed}
+						cfg.ConservativeFallback = true
+					}
+					flush := sink.instrument(&cfg, i)
+					res, err := sim.Run(w.net.G, w.source, v.make(), cfg)
+					if err != nil {
+						return 0, err
+					}
+					if err := flush(); err != nil {
+						return 0, err
+					}
+					return metric(res, rec), nil
+				})
+				if err = sink.finish(err); err != nil {
+					return Figure{}, fmt.Errorf("%s %s restart %d%%: %w", id, v.label, pct, err)
+				}
+				s.Points = append(s.Points, Point{X: pct, Mean: sum.Mean, CI: sum.HalfWidth90, Runs: sum.N})
+			}
+			panel.Series = append(panel.Series, s)
+		}
+		fig.Panels = append(fig.Panels, panel)
+	}
+	return fig, nil
+}

@@ -213,6 +213,7 @@ func runExperiment(opts Options, e ExperimentSpec, col *collector) (string, erro
 		CrashFractions:       e.CrashFractions,
 		LossRates:            e.LossRates,
 		HelloLossRates:       e.HelloLossRates,
+		RestartRates:         e.RestartRates,
 		Runner:               ciRunner(opts, e, seed, rep, col),
 	}
 	f, err := figureFor(e.ID, rc)
@@ -439,6 +440,7 @@ func List(opts Options) ([]PointStatus, error) {
 					CrashFractions: e.CrashFractions,
 					LossRates:      e.LossRates,
 					HelloLossRates: e.HelloLossRates,
+					RestartRates:   e.RestartRates,
 					Runner: func(point string, _ func() (stats.Summary, error)) (stats.Summary, error) {
 						record(PointConfig{
 							Schema:     PointSchema,

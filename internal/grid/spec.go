@@ -53,11 +53,12 @@ type ExperimentSpec struct {
 	MinRuns int     `json:"min_runs,omitempty"`
 	MaxRuns int     `json:"max_runs,omitempty"`
 	RelTol  float64 `json:"rel_tol,omitempty"`
-	// CrashFractions, LossRates, and HelloLossRates override the
-	// degradation and imperfect-view sweep values.
+	// CrashFractions, LossRates, HelloLossRates, and RestartRates override
+	// the degradation, imperfect-view, and crash-recovery sweep values.
 	CrashFractions []float64 `json:"crash_fractions,omitempty"`
 	LossRates      []float64 `json:"loss_rates,omitempty"`
 	HelloLossRates []float64 `json:"hello_loss_rates,omitempty"`
+	RestartRates   []float64 `json:"restart_rates,omitempty"`
 	// ScaleSizes, ScaleDegree, and ScaleReps configure the "scale" driver.
 	ScaleSizes  []int `json:"scale_sizes,omitempty"`
 	ScaleDegree int   `json:"scale_degree,omitempty"`
@@ -144,13 +145,15 @@ func validateID(id string) error {
 	return fmt.Errorf("unknown experiment id %q (valid: fig10..fig16, ext:<name>, scale, load)", id)
 }
 
-// DefaultSpec is the grid behind the five committed results tables:
+// DefaultSpec is the grid behind the six committed results tables:
 // results_all.txt (every figure, moderate replication), results_paper.txt
 // (every figure, the paper's ±1% criterion), results_ext.txt (every
-// extension experiment with its section header), results_scale.txt (the
-// large-n sweep), and results_load.txt (the heavy-traffic saturation
-// sweep). The committed grid.json must stay equal to it (pinned by
-// TestCommittedSpecMatchesDefault).
+// pre-existing extension experiment with its section header),
+// results_scale.txt (the large-n sweep), results_load.txt (the
+// heavy-traffic saturation sweep), and results_restart.txt (the
+// crash-recovery restart sweeps, in their own table so the older tables
+// stay byte-identical). The committed grid.json must stay equal to it
+// (pinned by TestCommittedSpecMatchesDefault).
 func DefaultSpec() Spec {
 	figs := func(paper bool) []ExperimentSpec {
 		var out []ExperimentSpec
@@ -159,12 +162,20 @@ func DefaultSpec() Spec {
 		}
 		return out
 	}
-	var exts []ExperimentSpec
+	// The restart sweeps live in their own table: appending them to
+	// results_ext.txt would change committed bytes.
+	restartIDs := map[string]bool{"restart": true, "restartlatency": true}
+	var exts, restarts []ExperimentSpec
 	for _, id := range experiments.AllExtensionIDs() {
-		exts = append(exts, ExperimentSpec{
+		e := ExperimentSpec{
 			ID:     "ext:" + id,
 			Header: fmt.Sprintf("==== -ext %s ====", id),
-		})
+		}
+		if restartIDs[id] {
+			restarts = append(restarts, e)
+		} else {
+			exts = append(exts, e)
+		}
 	}
 	return Spec{Tables: []TableSpec{
 		{Output: "results_all.txt", Experiments: figs(false)},
@@ -172,5 +183,6 @@ func DefaultSpec() Spec {
 		{Output: "results_ext.txt", Experiments: exts},
 		{Output: "results_scale.txt", Experiments: []ExperimentSpec{{ID: "scale"}}},
 		{Output: "results_load.txt", Experiments: []ExperimentSpec{{ID: "load"}}},
+		{Output: "results_restart.txt", Experiments: restarts},
 	}}
 }

@@ -1,0 +1,51 @@
+package obsv
+
+import (
+	"bufio"
+	"os"
+)
+
+// AppendFile is a durable append-only log: writes go through O_APPEND with a
+// buffer in front, and Sync flushes the buffer and fsyncs in one step, so a
+// writer can batch many small records per durability point. It complements
+// AtomicFile: AtomicFile publishes whole files (never observed partial),
+// AppendFile grows one file whose committed prefix survives a crash — the
+// journal shape. A record is durable only after the Sync that follows it; a
+// crash mid-batch loses at most the unsynced suffix, never corrupts the
+// prefix (short of filesystem-level damage, which the reader must tolerate by
+// ignoring a torn final record).
+type AppendFile struct {
+	f *os.File
+	w *bufio.Writer
+}
+
+// OpenAppend opens path for durable appends, creating it if absent.
+func OpenAppend(path string) (*AppendFile, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &AppendFile{f: f, w: bufio.NewWriter(f)}, nil
+}
+
+// Write buffers p for the next Sync (io.Writer).
+func (a *AppendFile) Write(p []byte) (int, error) { return a.w.Write(p) }
+
+// Sync flushes buffered writes and fsyncs the file: everything written so
+// far is durable when it returns.
+func (a *AppendFile) Sync() error {
+	if err := a.w.Flush(); err != nil {
+		return err
+	}
+	return a.f.Sync()
+}
+
+// Close syncs and closes the file.
+func (a *AppendFile) Close() error {
+	serr := a.Sync()
+	cerr := a.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}

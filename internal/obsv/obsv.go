@@ -141,6 +141,17 @@ type RunRecord struct {
 	// them in between sim.Run and trace export. Zero without per-node views.
 	ViewMissingLinks int `json:"view_missing_links,omitempty"`
 	ViewPhantomLinks int `json:"view_phantom_links,omitempty"`
+	// Restarts, JournalReplays, and StaleViewHolds count crash-recovery
+	// activity: process (or node) restarts observed during the run, journal
+	// replays performed on restart, and nodes whose dynamic-hello view went
+	// stale at some point during the run (so the conservative fallback held
+	// their forwarding). Restarted nodes re-enter the run rather than
+	// transmitting new copies by themselves, so — like QueueDrops — these sit
+	// outside the Conserved identity. Absent (zero) without journaling or
+	// dynamic hello maintenance. Additive: the schema version stays obsv/v1.
+	Restarts       int `json:"restarts,omitempty"`
+	JournalReplays int `json:"journal_replays,omitempty"`
+	StaleViewHolds int `json:"stale_view_holds,omitempty"`
 	// Finish is the time of the run's last event.
 	Finish float64 `json:"finish"`
 	// Latency is the first-delivery time histogram across reached nodes;

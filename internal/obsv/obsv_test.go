@@ -1,6 +1,7 @@
 package obsv
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -83,6 +84,44 @@ func TestRunRecordConserved(t *testing.T) {
 	r.Lost++
 	if r.Conserved() {
 		t.Fatalf("unbalanced record reported conserved: %+v", r)
+	}
+}
+
+// TestCrashRecoveryCounters pins the obsv/v1-additive crash-recovery
+// counters: they sit outside the Conserved identity (a restarted node
+// re-enters the run, it does not transmit unaccounted copies), they are
+// omitted from JSON when zero (old records parse and re-encode unchanged),
+// they survive a round-trip when set, and Reset clears them.
+func TestCrashRecoveryCounters(t *testing.T) {
+	r := RunRecord{Copies: 10, Receipts: 4, Lost: 2, Collided: 1, DroppedNodeDown: 2, DroppedLinkDown: 1,
+		Restarts: 5, JournalReplays: 4, StaleViewHolds: 3}
+	if !r.Conserved() {
+		t.Fatalf("crash-recovery counters broke the conservation identity: %+v", r)
+	}
+	data, err := json.Marshal(&r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunRecord
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Restarts != 5 || back.JournalReplays != 4 || back.StaleViewHolds != 3 {
+		t.Fatalf("round-trip lost counters: %+v", back)
+	}
+	var zero RunRecord
+	data, err = json.Marshal(&zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"restarts", "journal_replays", "stale_view_holds"} {
+		if strings.Contains(string(data), key) {
+			t.Errorf("zero record encodes %q; the counters must be omitempty additions", key)
+		}
+	}
+	r.Reset()
+	if r.Restarts != 0 || r.JournalReplays != 0 || r.StaleViewHolds != 0 {
+		t.Fatalf("Reset kept crash-recovery counters: %+v", r)
 	}
 }
 

@@ -71,6 +71,25 @@ func New(g *graph.Graph, cfg Config) (*Cluster, error) {
 // N returns the network size.
 func (cl *Cluster) N() int { return cl.g.N() }
 
+// staleView is the CoreConfig.StaleView hook under dynamic hello maintenance
+// (nil method value never installed when DynamicHello is off — the hook
+// checks itself). A node's view is stale at time now when some view-neighbor
+// is past its beacon expiry, with the beacon loss schedule evaluated as the
+// pure hash the simulator uses, so seed-matched runs agree on every verdict.
+func (cl *Cluster) staleView(v int, now float64) bool {
+	d := cl.cfg.DynamicHello
+	if d == nil {
+		return false
+	}
+	stale := false
+	cl.viewGs[v].ForEachNeighbor(v, func(u int) {
+		if !stale && d.LinkStale(v, u, now) {
+			stale = true
+		}
+	})
+	return stale
+}
+
 // DeliveredNodes returns the per-node delivery outcome of the most recent
 // broadcast (nil before the first). The slice is owned by the cluster and
 // valid until the next Broadcast.
@@ -435,6 +454,7 @@ func (cl *Cluster) Broadcast(source int, plan *fault.Plan) (sim.Result, error) {
 			JitterFrac:           cl.cfg.Nemesis.JitterFrac,
 			ConservativeFallback: cl.cfg.ConservativeFallback,
 			ViewIncomplete:       cl.cfg.ViewIncomplete,
+			StaleView:            cl.staleView,
 		}, ln, streamSeed(cl.cfg.Seed, "live.backoff", bcast, v))
 		nbrs := cl.g.Neighbors(v)
 		ln.linkRngs = make([]*rand.Rand, len(nbrs))
@@ -551,6 +571,21 @@ func (r *run) result(source int) sim.Result {
 			for v := 0; v < res.N; v++ {
 				if cl.cfg.ViewIncomplete(v) {
 					m.ViewIncompleteNodes++
+				}
+			}
+		}
+		if d := cl.cfg.DynamicHello; d != nil {
+			// Same pure computation as the simulator's result(): nodes whose
+			// view went stale at any point up to the finish clock.
+			for v := 0; v < res.N; v++ {
+				stale := false
+				cl.viewGs[v].ForEachNeighbor(v, func(u int) {
+					if !stale && d.EverStale(v, u, res.Finish) {
+						stale = true
+					}
+				})
+				if stale {
+					m.StaleViewHolds++
 				}
 			}
 		}

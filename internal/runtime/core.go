@@ -62,6 +62,11 @@ type CoreConfig struct {
 	JitterFrac           float64
 	ConservativeFallback bool
 	ViewIncomplete       func(v int) bool
+	// StaleView, when non-nil, reports whether the node's dynamic-hello view
+	// is stale at time now (some view-neighbor past its beacon expiry; see
+	// hello.Dynamic). Consulted by ConservativeHold alongside ViewIncomplete.
+	// Must be pure and safe for concurrent calls.
+	StaleView func(v int, now float64) bool
 }
 
 // Core is one live node: it implements sim.Runtime scoped to a single node
@@ -252,9 +257,28 @@ func (c *Core) DegreeBackoff(v int) float64 {
 	return c.cfg.BackoffWindow * c.viewG.AverageDegree() / float64(d)
 }
 
-// ConservativeHold reports whether this node must refuse non-forward status.
+// ConservativeHold reports whether this node must refuse non-forward status:
+// its view is provably incomplete (ViewIncomplete) or provably stale
+// (StaleView under dynamic hello maintenance).
 func (c *Core) ConservativeHold(v int) bool {
-	return c.cfg.ConservativeFallback && c.cfg.ViewIncomplete(c.id)
+	if !c.cfg.ConservativeFallback {
+		return false
+	}
+	if c.cfg.ViewIncomplete != nil && c.cfg.ViewIncomplete(c.id) {
+		return true
+	}
+	return c.cfg.StaleView != nil && c.cfg.StaleView(c.id, c.out.Now())
+}
+
+// RestoreSent reinstates a previously transmitted forward from durable
+// state: the node counts as having sent pkt (so replayed NACK obligations
+// can retransmit it and a replayed wave never forwards twice) without
+// putting a fresh copy on the air. Executors use it when replaying a
+// write-ahead journal after a crash.
+func (c *Core) RestoreSent(pkt sim.Packet) {
+	c.st.Sent = true
+	c.st.View.MarkVisited(c.id)
+	c.st.RestoreSentPacket(pkt)
 }
 
 // TakePreparedCovered implements sim.Runtime: live runtimes never precompute

@@ -27,6 +27,7 @@ import (
 	"math"
 	"time"
 
+	"adhocbcast/internal/hello"
 	"adhocbcast/internal/obsv"
 	"adhocbcast/internal/sim"
 	"adhocbcast/internal/view"
@@ -130,8 +131,16 @@ type Config struct {
 	// safe for concurrent use.
 	ViewIncomplete func(v int) bool
 	// ConservativeFallback makes provably incomplete nodes refuse
-	// non-forward status (requires ViewIncomplete).
+	// non-forward status (requires ViewIncomplete or DynamicHello).
 	ConservativeFallback bool
+	// DynamicHello, when non-nil, enables periodic hello maintenance (see
+	// sim.Config.DynamicHello): each node tracks per-view-neighbor staleness
+	// clocks against the live run clock, beacon loss follows the pure
+	// (Seed, recv, from, round) hash of hello.Dynamic.Received, and with
+	// ConservativeFallback a stale-view node holds its forwarding until the
+	// view is fresh again. The loss schedule being a pure function is what
+	// makes a seed-matched simulator run agree on every stale hold.
+	DynamicHello *hello.Dynamic
 
 	// Deadline aborts a broadcast that has not quiesced after this many
 	// time units (default 1000) — a live run has no event queue to drain,
@@ -173,6 +182,10 @@ func (c Config) withDefaults() Config {
 	if c.Deadline <= 0 {
 		c.Deadline = 1000
 	}
+	if c.DynamicHello != nil {
+		d := c.DynamicHello.WithDefaults()
+		c.DynamicHello = &d
+	}
 	return c
 }
 
@@ -192,8 +205,13 @@ func (c Config) validate() error {
 	if c.RetryBackoff < 0 || math.IsNaN(c.RetryBackoff) {
 		return fmt.Errorf("runtime: negative RetryBackoff %v", c.RetryBackoff)
 	}
-	if c.ConservativeFallback && c.ViewIncomplete == nil {
-		return fmt.Errorf("runtime: ConservativeFallback requires ViewIncomplete")
+	if c.ConservativeFallback && c.ViewIncomplete == nil && c.DynamicHello == nil {
+		return fmt.Errorf("runtime: ConservativeFallback requires ViewIncomplete or DynamicHello")
+	}
+	if c.DynamicHello != nil {
+		if err := c.DynamicHello.WithDefaults().Validate(); err != nil {
+			return fmt.Errorf("runtime: invalid DynamicHello: %w", err)
+		}
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"adhocbcast/internal/fault"
 	"adhocbcast/internal/graph"
+	"adhocbcast/internal/hello"
 	"adhocbcast/internal/obsv"
 	"adhocbcast/internal/view"
 )
@@ -76,9 +77,20 @@ type Config struct {
 	// paper's default-forward safety property: a node whose view is provably
 	// incomplete (ViewIncomplete) refuses non-forward status and forwards
 	// when its turn comes, trading redundancy for the delivery that wrong
-	// pruning decisions would lose. Requires ViewIncomplete. Default off,
-	// which keeps every paper figure byte-identical.
+	// pruning decisions would lose. Requires ViewIncomplete or DynamicHello.
+	// Default off, which keeps every paper figure byte-identical.
 	ConservativeFallback bool
+	// DynamicHello, when non-nil, models periodic hello maintenance after
+	// the initial exchange: every node beacons each hello.Dynamic.Interval,
+	// beacons are lost per receiver by the pure (Seed, recv, from, round)
+	// hash of hello.Dynamic.Received, and a node that has not heard a
+	// view-neighbor for longer than the expiry considers its view provably
+	// stale. With ConservativeFallback set, stale-view nodes hold their
+	// forwarding (refuse non-forward status) until the view is fresh again —
+	// the same view-repair semantics the live runtime implements with real
+	// timers, so seed-matched sim and live runs agree on every stale hold.
+	// Nil (the default) keeps every paper figure byte-identical.
+	DynamicHello *hello.Dynamic
 	// Hops is the k of the k-hop local views; 0 or negative selects the
 	// global view.
 	Hops int
@@ -249,9 +261,14 @@ func (c Config) validate(n int) error {
 		return fmt.Errorf("sim: ViewTopology and NodeViews are mutually exclusive: " +
 			"one global stale snapshot or per-node views, not both")
 	}
-	if c.ConservativeFallback && c.ViewIncomplete == nil {
-		return fmt.Errorf("sim: ConservativeFallback requires ViewIncomplete " +
-			"(no node can prove its view incomplete, so the fallback would silently never fire)")
+	if c.ConservativeFallback && c.ViewIncomplete == nil && c.DynamicHello == nil {
+		return fmt.Errorf("sim: ConservativeFallback requires ViewIncomplete or DynamicHello " +
+			"(no node can prove its view incomplete or stale, so the fallback would silently never fire)")
+	}
+	if c.DynamicHello != nil {
+		if err := c.DynamicHello.WithDefaults().Validate(); err != nil {
+			return fmt.Errorf("sim: invalid DynamicHello: %w", err)
+		}
 	}
 	return nil
 }
@@ -283,6 +300,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CSBackoffSlots == 0 {
 		c.CSBackoffSlots = 4
+	}
+	if c.DynamicHello != nil {
+		d := c.DynamicHello.WithDefaults()
+		c.DynamicHello = &d
 	}
 	return c
 }

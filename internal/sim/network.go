@@ -754,6 +754,24 @@ func (net *Network) result() Result {
 				}
 			}
 		}
+		if d := net.Cfg.DynamicHello; d != nil {
+			// A node counts as a stale-view hold when some view-neighbor's
+			// beacons went stale at any point up to the run's finish. Being a
+			// pure function of (views, seed, finish time), the count is
+			// engine- and schedule-independent, and a seed-matched live run
+			// computes the identical value.
+			for v := 0; v < res.N; v++ {
+				stale := false
+				net.viewGraphOf(v).ForEachNeighbor(v, func(u int) {
+					if !stale && d.EverStale(v, u, res.Finish) {
+						stale = true
+					}
+				})
+				if stale {
+					m.StaleViewHolds++
+				}
+			}
+		}
 	}
 	return res
 }
@@ -821,11 +839,37 @@ func (net *Network) viewGraphOf(v int) *graph.Graph {
 
 // ConservativeHold reports whether node v must refuse non-forward status: the
 // conservative fallback is enabled and v knows its own view may be missing
-// links, so any "I am covered" conclusion it draws is untrustworthy.
-// Protocols consult this wherever a coverage condition would justify
-// non-forward status (see the protocol engine).
+// links (ViewIncomplete) or provably stale (DynamicHello expiry), so any "I
+// am covered" conclusion it draws is untrustworthy. Protocols consult this
+// wherever a coverage condition would justify non-forward status (see the
+// protocol engine). The check is a pure function of (v, net.now) — the fast
+// engine's precompute workers call it concurrently.
 func (net *Network) ConservativeHold(v int) bool {
-	return net.Cfg.ConservativeFallback && net.Cfg.ViewIncomplete(v)
+	if !net.Cfg.ConservativeFallback {
+		return false
+	}
+	if net.Cfg.ViewIncomplete != nil && net.Cfg.ViewIncomplete(v) {
+		return true
+	}
+	return net.viewStale(v, net.now)
+}
+
+// viewStale reports whether node v's dynamic-hello view is stale at time t:
+// some view-neighbor has not been heard from for longer than the expiry.
+// Pure (no state mutated), so it is safe from the precompute workers and
+// yields the same verdicts in seed-matched live runs.
+func (net *Network) viewStale(v int, t float64) bool {
+	d := net.Cfg.DynamicHello
+	if d == nil {
+		return false
+	}
+	stale := false
+	net.viewGraphOf(v).ForEachNeighbor(v, func(u int) {
+		if !stale && d.LinkStale(v, u, t) {
+			stale = true
+		}
+	})
+	return stale
 }
 
 // SetTimer schedules an OnTimer callback for node v after delay (>= 0).

@@ -93,6 +93,11 @@ func (st *NodeState) RecordReceipt(r Receipt) (first bool) {
 // node forwards). Recovery layers retransmit it on request.
 func (st *NodeState) SentPacket() Packet { return st.sentPkt }
 
+// RestoreSentPacket reinstates the transmitted packet from durable state
+// (journal replay after a crash) so recovery retransmissions can serve it
+// without the node forwarding again.
+func (st *NodeState) RestoreSentPacket(pkt Packet) { st.sentPkt = pkt }
+
 // BuildForwardPacket assembles the packet node st transmits when forwarding:
 // the last delivered copy's trail extended with this node's own entry (its id
 // and designated forward set), capped to the piggyback depth, plus the
